@@ -1,0 +1,52 @@
+// Command rabench regenerates the paper's evaluation: every table and
+// figure of EXPERIMENTS.md, printed as aligned text tables.
+//
+// Usage:
+//
+//	rabench                # default scale: awari-11, 1..64 processors
+//	rabench -scale quick   # seconds-long smoke run
+//	rabench -scale large   # awari-12 (several minutes)
+//	rabench -stones 10     # override the headline database
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"retrograde/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "default", "experiment scale: quick, default, large")
+	stones := flag.Int("stones", 0, "override the headline awari database (stone count)")
+	quiet := flag.Bool("quiet", false, "suppress progress lines")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick()
+	case "default":
+		scale = experiments.Default()
+	case "large":
+		scale = experiments.Large()
+	default:
+		fmt.Fprintf(os.Stderr, "rabench: unknown scale %q (want quick, default or large)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *stones > 0 {
+		scale.Stones = *stones
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := experiments.RunAll(scale, os.Stdout, !*quiet, *csvDir); err != nil {
+		fmt.Fprintf(os.Stderr, "rabench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,139 @@
+// Command raquery answers questions from awari databases built by
+// rabuild: the value of a position, the best move, and the optimal line.
+//
+// Usage:
+//
+//	raquery -db dbs/ -board 0,0,0,0,2,1,1,0,0,0,0,2
+//	raquery -db dbs/ -board 1,1,0,0,0,1,2,0,0,0,0,0 -line 10
+//
+// The board lists pits 0..11 from the mover's perspective (0..5 mover's
+// row, 6..11 opponent's). Databases awari-0.radb .. awari-<n>.radb for
+// the board's stone count must exist in -db.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/db"
+	"retrograde/internal/game"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "raquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir := flag.String("db", ".", "directory holding awari-<n>.radb files")
+	family := flag.String("family", "", "single .rafy family file (overrides -db)")
+	boardSpec := flag.String("board", "", "comma-separated pit counts, mover first (12 values)")
+	line := flag.Int("line", 0, "play out this many optimal plies")
+	slamName := flag.String("grandslam", "allowed", "grand-slam rule the databases were built with")
+	flag.Parse()
+	if *boardSpec == "" {
+		return fmt.Errorf("-board is required")
+	}
+	board, err := awari.ParseBoard(*boardSpec)
+	if err != nil {
+		return err
+	}
+	rules := awari.Standard
+	if *slamName == "forfeit" {
+		rules.GrandSlam = awari.GrandSlamForfeit
+	}
+
+	stones := board.Stones()
+	var lookup awari.Lookup
+	if *family != "" {
+		fam, err := db.LoadFamily(*family)
+		if err != nil {
+			return err
+		}
+		if fam.Pits() != awari.Pits || fam.MaxTotal() < stones {
+			return fmt.Errorf("%s covers %d pits up to %d stones; board needs %d", *family, fam.Pits(), fam.MaxTotal(), stones)
+		}
+		lookup = func(n int, idx uint64) game.Value { return fam.Get(n, idx) }
+	} else {
+		tables := make([]*db.Table, stones+1)
+		for n := 0; n <= stones; n++ {
+			t, err := db.Load(filepath.Join(*dir, fmt.Sprintf("awari-%d.radb", n)))
+			if err != nil {
+				return fmt.Errorf("loading the %d-stone database: %w", n, err)
+			}
+			if t.Size() != awari.Size(n) {
+				return fmt.Errorf("awari-%d.radb holds %d entries, want %d", n, t.Size(), awari.Size(n))
+			}
+			tables[n] = t
+		}
+		lookup = func(n int, idx uint64) game.Value { return tables[n].Get(idx) }
+	}
+
+	cur := board
+	for ply := 0; ; ply++ {
+		n := cur.Stones()
+		slice := awari.MustSlice(rules, awari.LoopOwnSide, n, lookup)
+		idx := slice.Index(cur)
+		v := lookup(n, idx)
+		note := ""
+		if _, bv, ok := bestMove(rules, slice, lookup, cur); ok && bv != v {
+			// The database value of a cycle position reflects the
+			// repetition split, not a conversion any single move forces.
+			note = fmt.Sprintf("  [cycle-valued: best conversion %d]", bv)
+		}
+		fmt.Printf("ply %2d  %v  stones=%2d  value=%d (mover captures %d of %d)%s\n", ply, cur, n, v, v, n, note)
+		if ply >= *line {
+			if *line == 0 {
+				pit, mv, ok := bestMove(rules, slice, lookup, cur)
+				if ok {
+					fmt.Printf("best move: pit %d (worth %d)\n", pit, mv)
+				} else {
+					fmt.Println("terminal position")
+				}
+			}
+			return nil
+		}
+		pit, _, ok := bestMove(rules, slice, lookup, cur)
+		if !ok {
+			fmt.Println("terminal position reached")
+			return nil
+		}
+		child, captured := rules.Apply(cur, pit)
+		fmt.Printf("        plays pit %d, captures %d\n", pit, captured)
+		cur = child
+	}
+}
+
+func bestMove(rules awari.Rules, slice *awari.Slice, lookup awari.Lookup, b awari.Board) (pit int, value game.Value, ok bool) {
+	var list [awari.RowSize]int
+	moves := rules.MoveList(b, list[:0])
+	if len(moves) == 0 {
+		return 0, 0, false
+	}
+	n := b.Stones()
+	best := game.NoValue
+	bestPit := -1
+	for _, from := range moves {
+		child, captured := rules.Apply(b, from)
+		var mv game.Value
+		if captured == 0 {
+			mv = game.Value(n) - lookup(n, slice.Index(child))
+		} else {
+			rest := n - captured
+			var pits [awari.Pits]int
+			for i, c := range child {
+				pits[i] = int(c)
+			}
+			mv = game.Value(n) - lookup(rest, awari.Space(rest).Rank(pits[:]))
+		}
+		if best == game.NoValue || mv > best {
+			best, bestPit = mv, from
+		}
+	}
+	return bestPit, best, true
+}

@@ -1,0 +1,72 @@
+// Command rastats summarises built awari databases: per-rung value
+// distributions and aggregate statistics, read straight from .radb files.
+//
+// Usage:
+//
+//	rastats -db dbs/ -stones 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/db"
+	"retrograde/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "rastats: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir := flag.String("db", ".", "directory holding awari-<n>.radb files")
+	stones := flag.Int("stones", 8, "summarise rungs 0..stones")
+	flag.Parse()
+
+	t := stats.NewTable("awari database statistics",
+		"stones", "positions", "bytes", "mean value", "mover majority %", "zero %", "all %")
+	for n := 0; n <= *stones; n++ {
+		path := filepath.Join(*dir, fmt.Sprintf("awari-%d.radb", n))
+		table, err := db.Load(path)
+		if err != nil {
+			return err
+		}
+		if table.Size() != awari.Size(n) {
+			return fmt.Errorf("%s holds %d entries, want %d", path, table.Size(), awari.Size(n))
+		}
+		hist := make([]uint64, n+1)
+		var sum uint64
+		var majority uint64
+		for i := uint64(0); i < table.Size(); i++ {
+			v := int(table.Get(i))
+			if v > n {
+				return fmt.Errorf("%s entry %d holds %d, above the stone total %d", path, i, v, n)
+			}
+			hist[v]++
+			sum += uint64(v)
+			if 2*v > n {
+				majority++
+			}
+		}
+		mean := 0.0
+		if table.Size() > 0 {
+			mean = float64(sum) / float64(table.Size())
+		}
+		t.Row(n,
+			stats.Count(table.Size()),
+			stats.Bytes(table.Bytes()),
+			mean,
+			fmt.Sprintf("%.1f", 100*float64(majority)/float64(table.Size())),
+			fmt.Sprintf("%.1f", 100*float64(hist[0])/float64(table.Size())),
+			fmt.Sprintf("%.1f", 100*float64(hist[n])/float64(table.Size())))
+	}
+	t.Note("mean value is the stones the mover captures on average over all positions")
+	t.Note("by zero-sum symmetry the mean tends toward n/2 as cyclic splits dominate")
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,90 @@
+// Command raverify independently verifies awari databases.
+//
+// It rebuilds the ladder with two different engines (sequential and
+// distributed), requires bit-identical results, runs the fixpoint audit
+// on every rung, and — when -db is given — also compares against the
+// packed files on disk.
+//
+// Usage:
+//
+//	raverify -stones 8
+//	raverify -stones 8 -db dbs/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/db"
+	"retrograde/internal/ladder"
+	"retrograde/internal/ra"
+	"retrograde/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "raverify: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("raverify: OK")
+}
+
+func run() error {
+	stones := flag.Int("stones", 7, "verify databases for 0..stones stones")
+	dir := flag.String("db", "", "optional directory of awari-<n>.radb files to compare against")
+	procs := flag.Int("procs", 8, "simulated nodes for the distributed rebuild")
+	refine := flag.Bool("refine", false, "verify refined databases (use with -db when they were built with rabuild -refine)")
+	flag.Parse()
+
+	cfg := ladder.Config{Rules: awari.Standard, Loop: awari.LoopOwnSide, Refine: *refine}
+	fmt.Printf("rebuilding 0..%d sequentially...\n", *stones)
+	seq, err := ladder.Build(cfg, *stones, ra.Sequential{}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rebuilding 0..%d on a %d-node simulated cluster...\n", *stones, *procs)
+	dist, err := ladder.Build(cfg, *stones, ra.Distributed{Workers: *procs}, nil)
+	if err != nil {
+		return err
+	}
+	for n := 0; n <= *stones; n++ {
+		a, b := seq.Result(n), dist.Result(n)
+		for i := range a.Values {
+			if a.Values[i] != b.Values[i] {
+				return fmt.Errorf("rung %d: engines disagree at position %d (%d vs %d)", n, i, a.Values[i], b.Values[i])
+			}
+		}
+		audit := ra.Audit
+		if *refine {
+			audit = ra.AuditRefined
+		}
+		if err := audit(seq.Slice(n), a); err != nil {
+			return fmt.Errorf("rung %d: %w", n, err)
+		}
+		fmt.Printf("rung %-2d  %12s positions  engines agree, audit passed\n", n, stats.Count(uint64(len(a.Values))))
+	}
+	if *dir == "" {
+		return nil
+	}
+	for n := 0; n <= *stones; n++ {
+		path := filepath.Join(*dir, fmt.Sprintf("awari-%d.radb", n))
+		t, err := db.Load(path)
+		if err != nil {
+			return err
+		}
+		want := seq.Result(n).Values
+		if t.Size() != uint64(len(want)) {
+			return fmt.Errorf("%s: %d entries, want %d", path, t.Size(), len(want))
+		}
+		for i := uint64(0); i < t.Size(); i++ {
+			if t.Get(i) != want[i] {
+				return fmt.Errorf("%s: entry %d is %d, want %d", path, i, t.Get(i), want[i])
+			}
+		}
+		fmt.Printf("%s matches the rebuild\n", path)
+	}
+	return nil
+}

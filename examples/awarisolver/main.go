@@ -1,0 +1,70 @@
+// Awarisolver: build a ladder of awari endgame databases, report how each
+// retrograde analysis went, and play out an optimal endgame line with
+// capture commentary — the workload the paper's system was built for.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"retrograde"
+)
+
+func main() {
+	stones := flag.Int("stones", 8, "build databases for 0..stones stones")
+	flag.Parse()
+
+	cfg := retrograde.LadderConfig{
+		Rules: retrograde.StandardRules,
+		Loop:  retrograde.LoopOwnSide,
+	}
+	start := time.Now()
+	fmt.Printf("%-6s  %12s  %6s  %10s  %10s\n", "rung", "positions", "waves", "by prop.", "by cycle")
+	l, err := retrograde.BuildLadder(cfg, *stones, retrograde.Concurrent{},
+		func(n int, r *retrograde.Result) {
+			t := r.Totals()
+			fmt.Printf("awari-%-2d %12d  %6d  %10d  %10d\n",
+				n, len(r.Values), r.Waves, t.InitFinal+t.Finalized, r.LoopPositions)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total wall time: %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	// Play the endgame out: both sides follow the databases.
+	board := retrograde.Board{1, 0, 2, 0, 1, 1, 0, 1, 0, 2, 0, 0}
+	if board.Stones() > *stones {
+		log.Fatalf("demo board has %d stones; raise -stones", board.Stones())
+	}
+	fmt.Printf("optimal play from %v (%d stones)\n", board, board.Stones())
+	moverCaptured, opponentCaptured := 0, 0
+	moverToPlay := true
+	for ply := 0; ply < 40; ply++ {
+		pit, _, ok := l.BestMove(board)
+		if !ok {
+			// Terminal: remaining stones go per the terminal rule.
+			fmt.Printf("ply %2d  %v  terminal\n", ply, board)
+			break
+		}
+		child, captured := cfg.Rules.Apply(board, pit)
+		fmt.Printf("ply %2d  %v  plays pit %d", ply, board, pit)
+		if captured > 0 {
+			fmt.Printf(", captures %d", captured)
+		}
+		fmt.Println()
+		if moverToPlay {
+			moverCaptured += captured
+		} else {
+			opponentCaptured += captured
+		}
+		moverToPlay = !moverToPlay
+		board = child
+		if board.Stones() == 0 {
+			break
+		}
+	}
+	fmt.Printf("\ncaptured: first player %d, second player %d, still on board %d\n",
+		moverCaptured, opponentCaptured, board.Stones())
+}

@@ -1,0 +1,107 @@
+// Chessmate: retrograde analysis beyond awari. Solve the KRK chess
+// endgame (the historic first target of endgame databases), find the
+// longest mate — the classic result: mate in 16 — and play it out with
+// both sides following the database.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"retrograde/internal/chess"
+	"retrograde/internal/game"
+	"retrograde/internal/ra"
+)
+
+func main() {
+	g := chess.MustNew(8)
+	fmt.Printf("solving %s: %d positions...\n", g.Name(), g.Size())
+	r, err := (ra.Concurrent{}).Solve(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find the longest win with white to move.
+	var deepest uint64
+	maxDepth := -1
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		p := g.Decode(idx)
+		if !g.Valid(p) || !p.WhiteToMove {
+			continue
+		}
+		v := r.Values[idx]
+		if game.WDLOutcome(v) == game.OutcomeWin && game.WDLDepth(v) > maxDepth {
+			maxDepth, deepest = game.WDLDepth(v), idx
+		}
+	}
+	fmt.Printf("longest mate: %s — mate in %d plies (%d white moves)\n\n",
+		g.String(g.Decode(deepest)), maxDepth, (maxDepth+1)/2)
+	fmt.Println(render(g, g.Decode(deepest)))
+
+	// Play it out: each side picks its database-optimal move.
+	idx := deepest
+	for ply := 1; ; ply++ {
+		moves := g.Moves(idx, nil)
+		if len(moves) == 0 {
+			v := g.TerminalValue(idx)
+			if v == game.Loss(0) {
+				fmt.Printf("checkmate after %d plies\n", ply-1)
+			} else {
+				fmt.Printf("game over (%s) after %d plies\n", game.WDLString(v), ply-1)
+			}
+			return
+		}
+		best := game.NoValue
+		var bestChild uint64
+		bestExternal := false
+		for _, m := range moves {
+			var mv game.Value
+			if m.Internal {
+				mv = g.MoverValue(r.Values[m.Child])
+			} else {
+				mv = m.Value
+			}
+			if best == game.NoValue || g.Better(mv, best) {
+				best, bestChild, bestExternal = mv, m.Child, !m.Internal
+			}
+		}
+		if bestExternal {
+			fmt.Printf("ply %2d: black captures the rook — draw\n", ply)
+			return
+		}
+		idx = bestChild
+		p := g.Decode(idx)
+		fmt.Printf("ply %2d: %-16s (%s for the side to move)\n",
+			ply, g.String(p), game.WDLString(r.Values[idx]))
+	}
+}
+
+// render draws the board in ASCII.
+func render(g *chess.Game, p chess.Position) string {
+	m := g.Board()
+	var sb strings.Builder
+	for rank := m - 1; rank >= 0; rank-- {
+		fmt.Fprintf(&sb, "%d ", rank+1)
+		for file := 0; file < m; file++ {
+			s := rank*m + file
+			switch s {
+			case p.WK:
+				sb.WriteString(" K")
+			case p.WR:
+				sb.WriteString(" R")
+			case p.BK:
+				sb.WriteString(" k")
+			default:
+				sb.WriteString(" .")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  ")
+	for file := 0; file < m; file++ {
+		fmt.Fprintf(&sb, " %c", 'a'+file)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

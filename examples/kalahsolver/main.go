@@ -1,0 +1,62 @@
+// Kalahsolver: the library's second mancala game. Build Kalah endgame
+// databases (stores, extra turns, captures-to-store) and play out an
+// optimal endgame line, composed moves included.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"retrograde"
+)
+
+func main() {
+	stones := flag.Int("stones", 8, "build databases for 0..stones stones")
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Printf("%-9s %12s  %6s\n", "rung", "positions", "waves")
+	l, err := retrograde.BuildKalahLadder(*stones, retrograde.Concurrent{},
+		func(n int, r *retrograde.Result) {
+			fmt.Printf("kalah-%-3d %12d  %6d\n", n, len(r.Values), r.Waves)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total wall time: %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	board := retrograde.Board{1, 0, 2, 0, 1, 1, 0, 1, 0, 2, 0, 0}
+	if board.Stones() > *stones {
+		log.Fatalf("demo board has %d stones; raise -stones", board.Stones())
+	}
+	fmt.Printf("optimal play from %v (%d stones on board)\n", board, board.Stones())
+	fmt.Printf("prediction: the first player banks %d of %d\n\n",
+		l.Value(board), board.Stones())
+
+	banks := [2]int{}
+	mover := 0
+	for ply := 0; ply < 60 && board.Stones() > 0; ply++ {
+		next, banked, ok := l.PlayBest(board)
+		if !ok {
+			// Terminal: the opponent banks everything left.
+			banks[1-mover] += board.Stones()
+			fmt.Printf("ply %2d  %v  player %d cannot move; the rest goes to player %d\n",
+				ply, board, mover+1, 2-mover)
+			board = retrograde.Board{}
+			break
+		}
+		fmt.Printf("ply %2d  %v  player %d banks %d\n", ply, board, mover+1, banked)
+		banks[mover] += banked
+		// A move that ends the game (extra turn with an emptied row)
+		// sweeps the remaining stones to the opponent.
+		if sweep := board.Stones() - next.Stones() - banked; sweep > 0 {
+			banks[1-mover] += sweep
+			fmt.Printf("        the game ends; player %d sweeps the remaining %d\n", 2-mover, sweep)
+		}
+		board = next
+		mover = 1 - mover
+	}
+	fmt.Printf("\nfinal score: player 1 banked %d, player 2 banked %d\n", banks[0], banks[1])
+}

@@ -1,0 +1,37 @@
+// Quickstart: build a small family of awari endgame databases and ask
+// them questions — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"retrograde"
+)
+
+func main() {
+	// Build databases for every position with up to 7 stones. Each rung
+	// is solved by retrograde analysis using the shared-memory engine.
+	cfg := retrograde.LadderConfig{
+		Rules: retrograde.StandardRules,
+		Loop:  retrograde.LoopOwnSide,
+	}
+	l, err := retrograde.BuildLadder(cfg, 7, retrograde.Concurrent{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built awari databases 0..%d (%d positions in the top rung)\n\n",
+		l.MaxStones(), retrograde.AwariSize(l.MaxStones()))
+
+	// A 7-stone endgame: pits 0..5 are the mover's, 6..11 the opponent's.
+	board := retrograde.Board{0, 0, 0, 1, 2, 1, 1, 0, 0, 0, 0, 2}
+	fmt.Printf("position   %v\n", board)
+	fmt.Printf("value      mover captures %d of the %d stones under optimal play\n",
+		l.Value(board), board.Stones())
+
+	if pit, value, ok := l.BestMove(board); ok {
+		fmt.Printf("best move  sow pit %d (worth %d stones)\n", pit, value)
+	} else {
+		fmt.Println("the position is terminal")
+	}
+}

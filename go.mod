@@ -1,0 +1,3 @@
+module retrograde
+
+go 1.24

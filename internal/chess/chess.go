@@ -1,0 +1,397 @@
+// Package chess implements the king-and-rook-versus-king (KRK) and
+// king-and-queen-versus-king (KQK) chess endgames as game.Games — the
+// classic retrograde-analysis targets (the first computed endgame
+// databases were KRK tables, and the longest mates — 16 moves for the
+// rook, 10 for the queen — are textbook constants to validate against).
+//
+// The board is an m x m grid (m = 4..8): small boards let the test suite
+// validate move/un-move inversion exhaustively, the 8x8 board reproduces
+// the known theory. A position is (side to move, white king, white rook,
+// black king). The rook being captured leaves the index space: black's
+// rook-capture moves resolve externally to a draw (KK is drawn), exactly
+// like awari's captures resolve into smaller databases.
+//
+// Index encoding: ((stm*m*m + wk)*m*m + wr)*m*m + bk, stm 0 = white.
+// Indices whose position cannot occur in play (overlapping pieces,
+// adjacent kings, black in check with white to move) are inert terminals
+// with no moves and no predecessors, like tic-tac-toe's invalid boards.
+package chess
+
+import (
+	"fmt"
+
+	"retrograde/internal/game"
+)
+
+// Piece selects white's major piece: the classic KRK rook or the KQK
+// queen (whose longest mate — 10 moves on 8x8 — is another textbook
+// constant the tests verify).
+type Piece uint8
+
+// White's major piece.
+const (
+	Rook Piece = iota
+	Queen
+)
+
+func (p Piece) String() string {
+	switch p {
+	case Rook:
+		return "R"
+	case Queen:
+		return "Q"
+	}
+	return fmt.Sprintf("Piece(%d)", uint8(p))
+}
+
+// dirs returns the piece's sliding directions.
+func (p Piece) dirs() [][2]int {
+	if p == Queen {
+		return queenDirs[:]
+	}
+	return rookDirs[:]
+}
+
+// Game is KRK (or KQK) on an m x m board. Immutable and safe for
+// concurrent use.
+type Game struct {
+	m     int
+	sq    int // m*m
+	size  uint64
+	piece Piece
+}
+
+// New returns KRK on an m x m board.
+func New(m int) (*Game, error) { return NewWithPiece(m, Rook) }
+
+// NewWithPiece returns the king-and-major-piece-versus-king endgame on an
+// m x m board.
+func NewWithPiece(m int, piece Piece) (*Game, error) {
+	if m < 4 || m > 8 {
+		return nil, fmt.Errorf("chess: board size %d out of range [4, 8]", m)
+	}
+	if piece > Queen {
+		return nil, fmt.Errorf("chess: unknown piece %d", piece)
+	}
+	sq := m * m
+	return &Game{m: m, sq: sq, size: 2 * uint64(sq) * uint64(sq) * uint64(sq), piece: piece}, nil
+}
+
+// MustNew is New for statically known-valid sizes.
+func MustNew(m int) *Game {
+	g, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// MustNewWithPiece is NewWithPiece for statically known-valid arguments.
+func MustNewWithPiece(m int, piece Piece) *Game {
+	g, err := NewWithPiece(m, piece)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Position is a decoded KRK position.
+type Position struct {
+	WhiteToMove bool
+	WK, WR, BK  int // square indices, 0..m*m-1
+}
+
+// Board returns the board size m.
+func (g *Game) Board() int { return g.m }
+
+// Decode converts an index into a Position.
+func (g *Game) Decode(idx uint64) Position {
+	sq := uint64(g.sq)
+	bk := int(idx % sq)
+	idx /= sq
+	wr := int(idx % sq)
+	idx /= sq
+	wk := int(idx % sq)
+	stm := idx / sq
+	return Position{WhiteToMove: stm == 0, WK: wk, WR: wr, BK: bk}
+}
+
+// Encode converts a Position into its index.
+func (g *Game) Encode(p Position) uint64 {
+	for _, s := range []int{p.WK, p.WR, p.BK} {
+		if s < 0 || s >= g.sq {
+			panic(fmt.Sprintf("chess: square %d out of range", s))
+		}
+	}
+	stm := uint64(1)
+	if p.WhiteToMove {
+		stm = 0
+	}
+	return ((stm*uint64(g.sq)+uint64(p.WK))*uint64(g.sq)+uint64(p.WR))*uint64(g.sq) + uint64(p.BK)
+}
+
+// String renders a position compactly, e.g. "w Kc1 Ra4 kd3".
+func (g *Game) String(p Position) string {
+	side := "w"
+	if !p.WhiteToMove {
+		side = "b"
+	}
+	return fmt.Sprintf("%s K%s %s%s k%s", side, g.sqName(p.WK), g.piece, g.sqName(p.WR), g.sqName(p.BK))
+}
+
+func (g *Game) sqName(s int) string {
+	return fmt.Sprintf("%c%d", 'a'+s%g.m, s/g.m+1)
+}
+
+// adjacent reports chebyshev distance 1 between squares (not equality).
+func (g *Game) adjacent(a, b int) bool {
+	if a == b {
+		return false
+	}
+	df := a%g.m - b%g.m
+	dr := a/g.m - b/g.m
+	return df >= -1 && df <= 1 && dr >= -1 && dr <= 1
+}
+
+// pieceAttacks reports whether white's major piece on from attacks
+// target, with the given blocker squares (a blocker on the target itself
+// does not shield it). Squares equal to from or target are ignored as
+// blockers.
+func (g *Game) pieceAttacks(from, target int, blockers ...int) bool {
+	if from == target {
+		return false
+	}
+	ff, fr := from%g.m, from/g.m
+	tf, tr := target%g.m, target/g.m
+	df, dr := tf-ff, tr-fr
+	onLine := df == 0 || dr == 0
+	onDiag := df == dr || df == -dr
+	switch {
+	case onLine:
+	case onDiag && g.piece == Queen:
+	default:
+		return false
+	}
+	stepF, stepR := sign(df), sign(dr)
+	f, r := ff+stepF, fr+stepR
+	for f != tf || r != tr {
+		s := r*g.m + f
+		for _, b := range blockers {
+			if b == s {
+				return false
+			}
+		}
+		f, r = f+stepF, r+stepR
+	}
+	return true
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// Valid reports whether the position can occur in play.
+func (g *Game) Valid(p Position) bool {
+	if p.WK == p.WR || p.WK == p.BK || p.WR == p.BK {
+		return false
+	}
+	if g.adjacent(p.WK, p.BK) {
+		return false
+	}
+	if p.WhiteToMove && g.pieceAttacks(p.WR, p.BK, p.WK) {
+		return false // black in check but white to move
+	}
+	return true
+}
+
+// InCheck reports whether the black king is attacked (only white gives
+// check in these endgames).
+func (g *Game) InCheck(p Position) bool {
+	return g.pieceAttacks(p.WR, p.BK, p.WK)
+}
+
+var kingSteps = [8][2]int{
+	{-1, -1}, {0, -1}, {1, -1}, {-1, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1},
+}
+
+// kingTargets appends the in-board neighbour squares of s.
+func (g *Game) kingTargets(s int, dst []int) []int {
+	f, r := s%g.m, s/g.m
+	for _, d := range kingSteps {
+		nf, nr := f+d[0], r+d[1]
+		if nf >= 0 && nf < g.m && nr >= 0 && nr < g.m {
+			dst = append(dst, nr*g.m+nf)
+		}
+	}
+	return dst
+}
+
+var rookDirs = [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+var queenDirs = [8][2]int{
+	{1, 0}, {-1, 0}, {0, 1}, {0, -1},
+	{1, 1}, {1, -1}, {-1, 1}, {-1, -1},
+}
+
+// Name implements game.Game.
+func (g *Game) Name() string {
+	if g.piece == Queen {
+		return fmt.Sprintf("kqk-%dx%d", g.m, g.m)
+	}
+	return fmt.Sprintf("krk-%dx%d", g.m, g.m)
+}
+
+// Size implements game.Game.
+func (g *Game) Size() uint64 { return g.size }
+
+// Moves implements game.Game.
+func (g *Game) Moves(idx uint64, buf []game.Move) []game.Move {
+	p := g.Decode(idx)
+	if !g.Valid(p) {
+		return buf
+	}
+	var targets [8]int
+	if p.WhiteToMove {
+		// King moves: not onto own rook, not next to the black king.
+		for _, t := range g.kingTargets(p.WK, targets[:0]) {
+			if t == p.WR || g.adjacent(t, p.BK) || t == p.BK {
+				continue
+			}
+			buf = append(buf, game.Move{Internal: true, Child: g.Encode(Position{WhiteToMove: false, WK: t, WR: p.WR, BK: p.BK})})
+		}
+		// Piece slides: blocked by either king; may not land on a king.
+		f, r := p.WR%g.m, p.WR/g.m
+		for _, d := range g.piece.dirs() {
+			nf, nr := f+d[0], r+d[1]
+			for nf >= 0 && nf < g.m && nr >= 0 && nr < g.m {
+				t := nr*g.m + nf
+				if t == p.WK || t == p.BK {
+					break
+				}
+				buf = append(buf, game.Move{Internal: true, Child: g.Encode(Position{WhiteToMove: false, WK: p.WK, WR: t, BK: p.BK})})
+				nf, nr = nf+d[0], nr+d[1]
+			}
+		}
+		return buf
+	}
+	// Black king moves: not next to the white king, not into the rook's
+	// fire (computed with the king off its old square), capturing an
+	// undefended rook ends the game in a draw (KK).
+	for _, t := range g.kingTargets(p.BK, targets[:0]) {
+		if t == p.WK || g.adjacent(t, p.WK) {
+			continue
+		}
+		if t == p.WR {
+			// Capture: legal here because t is not defended (adjacency
+			// to the white king was excluded above). KK is drawn.
+			buf = append(buf, game.Move{Value: game.Draw})
+			continue
+		}
+		if g.pieceAttacks(p.WR, t, p.WK) {
+			continue
+		}
+		buf = append(buf, game.Move{Internal: true, Child: g.Encode(Position{WhiteToMove: true, WK: p.WK, WR: p.WR, BK: t})})
+	}
+	return buf
+}
+
+// TerminalValue implements game.Game: checkmate is a loss for the mover;
+// stalemate — and every unreachable index — is a draw.
+func (g *Game) TerminalValue(idx uint64) game.Value {
+	p := g.Decode(idx)
+	if !g.Valid(p) {
+		return game.Draw
+	}
+	if !p.WhiteToMove && g.InCheck(p) {
+		return game.Loss(0)
+	}
+	return game.Draw
+}
+
+// Predecessors implements game.Game: candidate un-moves place the
+// previous mover's piece back on a source square; each candidate is
+// verified with the forward generator, so the relation is the exact
+// inverse of Moves by construction.
+func (g *Game) Predecessors(idx uint64, buf []uint64) []uint64 {
+	p := g.Decode(idx)
+	if !g.Valid(p) {
+		return buf
+	}
+	var targets [8]int
+	if p.WhiteToMove {
+		// Previous mover was black: the black king came from a
+		// neighbouring square.
+		for _, s := range g.kingTargets(p.BK, targets[:0]) {
+			if s == p.WK || s == p.WR {
+				continue
+			}
+			q := Position{WhiteToMove: false, WK: p.WK, WR: p.WR, BK: s}
+			buf = g.verify(q, idx, buf)
+		}
+		return buf
+	}
+	// Previous mover was white: the king or the rook moved.
+	for _, s := range g.kingTargets(p.WK, targets[:0]) {
+		if s == p.WR || s == p.BK {
+			continue
+		}
+		q := Position{WhiteToMove: true, WK: s, WR: p.WR, BK: p.BK}
+		buf = g.verify(q, idx, buf)
+	}
+	f, r := p.WR%g.m, p.WR/g.m
+	for _, d := range g.piece.dirs() {
+		nf, nr := f+d[0], r+d[1]
+		for nf >= 0 && nf < g.m && nr >= 0 && nr < g.m {
+			s := nr*g.m + nf
+			if s == p.WK || s == p.BK {
+				break
+			}
+			q := Position{WhiteToMove: true, WK: p.WK, WR: s, BK: p.BK}
+			buf = g.verify(q, idx, buf)
+			nf, nr = nf+d[0], nr+d[1]
+		}
+	}
+	return buf
+}
+
+// verify appends q's index if q is valid and has an internal move to
+// child.
+func (g *Game) verify(q Position, child uint64, buf []uint64) []uint64 {
+	if !g.Valid(q) {
+		return buf
+	}
+	var moves [32]game.Move
+	for _, m := range g.Moves(g.Encode(q), moves[:0]) {
+		if m.Internal && m.Child == child {
+			return append(buf, g.Encode(q))
+		}
+	}
+	return buf
+}
+
+// MoverValue implements game.Game.
+func (g *Game) MoverValue(child game.Value) game.Value { return game.WDLNegate(child) }
+
+// Better implements game.Game.
+func (g *Game) Better(a, b game.Value) bool {
+	if b == game.NoValue {
+		return a != game.NoValue
+	}
+	return a != game.NoValue && game.WDLBetter(a, b)
+}
+
+// Finalizes implements game.Game.
+func (g *Game) Finalizes(v game.Value) bool { return game.WDLOutcome(v) == game.OutcomeWin }
+
+// LoopValue implements game.Game: positions never determined are
+// repetition draws — the standard endgame-database convention.
+func (g *Game) LoopValue(uint64) game.Value { return game.Draw }
+
+// ValueBits implements game.Game.
+func (g *Game) ValueBits() int { return 16 }

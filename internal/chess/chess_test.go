@@ -1,0 +1,398 @@
+package chess
+
+import (
+	"math/rand"
+	"testing"
+
+	"retrograde/internal/game"
+	"retrograde/internal/ra"
+)
+
+// pos is a test helper building positions by square name on an m-board.
+func (g *Game) at(name string) int {
+	f := int(name[0] - 'a')
+	r := int(name[1] - '1')
+	if f < 0 || f >= g.m || r < 0 || r >= g.m {
+		panic("square " + name + " off board")
+	}
+	return r*g.m + f
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, m := range []int{3, 9, 0} {
+		if _, err := New(m); err == nil {
+			t.Errorf("New(%d) succeeded", m)
+		}
+	}
+	g := MustNew(8)
+	if g.Size() != 2*64*64*64 {
+		t.Errorf("Size() = %d", g.Size())
+	}
+	if g.Name() != "krk-8x8" {
+		t.Errorf("Name() = %q", g.Name())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := MustNew(5)
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		if back := g.Encode(g.Decode(idx)); back != idx {
+			t.Fatalf("Encode(Decode(%d)) = %d", idx, back)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	g := MustNew(8)
+	p := Position{WhiteToMove: true, WK: g.at("c1"), WR: g.at("a4"), BK: g.at("d3")}
+	if got := g.String(p); got != "w Kc1 Ra4 kd3" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	g := MustNew(8)
+	cases := []struct {
+		p    Position
+		want bool
+		why  string
+	}{
+		{Position{true, g.at("a1"), g.at("b2"), g.at("h8")}, true, "normal"},
+		{Position{true, g.at("a1"), g.at("a1"), g.at("h8")}, false, "king on rook"},
+		{Position{true, g.at("a1"), g.at("b2"), g.at("b1")}, false, "kings adjacent"},
+		{Position{true, g.at("a1"), g.at("h4"), g.at("d4")}, false, "black in check, white to move"},
+		{Position{false, g.at("a1"), g.at("h4"), g.at("d4")}, true, "black in check, black to move"},
+		{Position{true, g.at("e4"), g.at("e1"), g.at("e8")}, true, "king blocks the check"},
+	}
+	for _, c := range cases {
+		if got := g.Valid(c.p); got != c.want {
+			t.Errorf("Valid(%s) = %v, want %v (%s)", g.String(c.p), got, c.want, c.why)
+		}
+	}
+}
+
+func TestRookAttacks(t *testing.T) {
+	g := MustNew(8)
+	if !g.pieceAttacks(g.at("a1"), g.at("a8")) {
+		t.Error("rook does not attack along an open file")
+	}
+	if !g.pieceAttacks(g.at("a1"), g.at("h1")) {
+		t.Error("rook does not attack along an open rank")
+	}
+	if g.pieceAttacks(g.at("a1"), g.at("b2")) {
+		t.Error("rook attacks diagonally")
+	}
+	if g.pieceAttacks(g.at("a1"), g.at("a8"), g.at("a4")) {
+		t.Error("rook attacks through a blocker")
+	}
+	if !g.pieceAttacks(g.at("a1"), g.at("a8"), g.at("b4")) {
+		t.Error("off-line blocker shields the target")
+	}
+	if g.pieceAttacks(g.at("a1"), g.at("a1")) {
+		t.Error("rook attacks its own square")
+	}
+}
+
+func TestCheckmatePosition(t *testing.T) {
+	g := MustNew(8)
+	// Classic back-rank mate: wK c6... use kings in opposition: wK a6? Use
+	// the canonical: black king a8, white king a6, rook h8: rook gives
+	// check along the 8th rank; a7/b7 are covered by the white king; b8
+	// is covered by the rook.
+	p := Position{WhiteToMove: false, WK: g.at("a6"), WR: g.at("h8"), BK: g.at("a8")}
+	if !g.Valid(p) {
+		t.Fatal("mate position invalid")
+	}
+	if !g.InCheck(p) {
+		t.Fatal("mate position not in check")
+	}
+	if moves := g.Moves(g.Encode(p), nil); len(moves) != 0 {
+		t.Fatalf("mate position has %d moves", len(moves))
+	}
+	if v := g.TerminalValue(g.Encode(p)); v != game.Loss(0) {
+		t.Errorf("mate position terminal value %s", game.WDLString(v))
+	}
+}
+
+func TestStalematePosition(t *testing.T) {
+	g := MustNew(8)
+	// The textbook KRK stalemate: black king a8, white king a6, rook b7.
+	// a7 is covered by both king and rook, b8 by the rook's file, and
+	// the rook itself is defended so it cannot be taken; a8 is not
+	// attacked, so black is not in check and has no move.
+	p := Position{WhiteToMove: false, WK: g.at("a6"), WR: g.at("b7"), BK: g.at("a8")}
+	if !g.Valid(p) {
+		t.Fatal("stalemate position invalid")
+	}
+	if g.InCheck(p) {
+		t.Fatal("stalemate position is in check")
+	}
+	if moves := g.Moves(g.Encode(p), nil); len(moves) != 0 {
+		for _, m := range moves {
+			t.Logf("unexpected move to %s", g.String(g.Decode(m.Child)))
+		}
+		t.Fatalf("stalemate position has %d moves", len(moves))
+	}
+	if v := g.TerminalValue(g.Encode(p)); v != game.Draw {
+		t.Errorf("stalemate terminal value %s", game.WDLString(v))
+	}
+}
+
+func TestRookCaptureIsExternalDraw(t *testing.T) {
+	g := MustNew(8)
+	// Rook next to the black king and undefended: capturing draws.
+	p := Position{WhiteToMove: false, WK: g.at("h1"), WR: g.at("a7"), BK: g.at("a8")}
+	if !g.Valid(p) {
+		t.Fatal("position invalid")
+	}
+	moves := g.Moves(g.Encode(p), nil)
+	var capture *game.Move
+	for i := range moves {
+		if !moves[i].Internal {
+			capture = &moves[i]
+		}
+	}
+	if capture == nil {
+		t.Fatal("no capture move found")
+	}
+	if capture.Value != game.Draw {
+		t.Errorf("capture resolves to %s, want draw", game.WDLString(capture.Value))
+	}
+	// If the rook is defended, the capture is illegal.
+	defended := Position{WhiteToMove: false, WK: g.at("b6"), WR: g.at("a7"), BK: g.at("a8")}
+	if !g.Valid(defended) {
+		t.Fatal("defended position invalid")
+	}
+	for _, m := range g.Moves(g.Encode(defended), nil) {
+		if !m.Internal {
+			t.Error("defended rook was captured")
+		}
+	}
+}
+
+func TestKingCannotStayOnRookLine(t *testing.T) {
+	g := MustNew(8)
+	// Black king e4, rook e1 (black to move, in check): king may not
+	// step to e3 or e5 (still on the e-file: the old square no longer
+	// blocks), must leave the file or approach... e3/e5 remain attacked.
+	p := Position{WhiteToMove: false, WK: g.at("a8"), WR: g.at("e1"), BK: g.at("e4")}
+	for _, m := range g.Moves(g.Encode(p), nil) {
+		if !m.Internal {
+			continue
+		}
+		c := g.Decode(m.Child)
+		if c.BK == g.at("e3") || c.BK == g.at("e5") {
+			t.Errorf("king stepped to %s along the rook's file", g.sqName(c.BK))
+		}
+	}
+}
+
+// TestValidateSmallBoards checks move/un-move inversion exhaustively.
+func TestValidateSmallBoards(t *testing.T) {
+	if err := game.Validate(MustNew(4)); err != nil {
+		t.Error(err)
+	}
+	if testing.Short() {
+		return
+	}
+	if err := game.Validate(MustNew(5)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidateSampled8x8 checks inversion on the full board for a random
+// sample of target positions.
+func TestValidateSampled8x8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8x8 scan skipped in -short mode")
+	}
+	g := MustNew(8)
+	rng := rand.New(rand.NewSource(11))
+	targets := make([]uint64, 80)
+	for i := range targets {
+		targets[i] = rng.Uint64() % g.Size()
+	}
+	if err := game.ValidateSample(g, targets); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveSmallBoard solves 4x4 KRK and checks structural properties.
+func TestSolveSmallBoard(t *testing.T) {
+	g := MustNew(4)
+	r := ra.SolveSequential(g)
+	if err := ra.Audit(g, r); err != nil {
+		t.Fatal(err)
+	}
+	whiteWins, blackWins, blackDraws := 0, 0, 0
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		p := g.Decode(idx)
+		if !g.Valid(p) {
+			continue
+		}
+		o := game.WDLOutcome(r.Values[idx])
+		if p.WhiteToMove {
+			switch o {
+			case game.OutcomeWin:
+				whiteWins++
+			case game.OutcomeLoss:
+				t.Fatalf("white to move loses at %s", g.String(p))
+			}
+		} else {
+			switch o {
+			case game.OutcomeWin:
+				blackWins++ // black to move can never win KRK
+			case game.OutcomeDraw:
+				blackDraws++
+			}
+		}
+	}
+	if blackWins != 0 {
+		t.Errorf("%d positions where black wins", blackWins)
+	}
+	if whiteWins == 0 {
+		t.Error("no white wins on the 4x4 board")
+	}
+	if blackDraws == 0 {
+		t.Error("no black-to-move draws (rook captures and stalemates must exist)")
+	}
+}
+
+// TestKRKTheory8x8 is the headline validation: on the real board every
+// valid white-to-move position is won (bar none — the rook cannot be
+// lost with white to move) and the longest mate takes 16 white moves,
+// i.e. a distance of 31 plies — the classic KRK constant.
+func TestKRKTheory8x8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full KRK solve skipped in -short mode")
+	}
+	g := MustNew(8)
+	r, err := (ra.Concurrent{}).Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDepth := 0
+	var deepest uint64
+	draws := 0
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		p := g.Decode(idx)
+		if !g.Valid(p) || !p.WhiteToMove {
+			continue
+		}
+		v := r.Values[idx]
+		switch game.WDLOutcome(v) {
+		case game.OutcomeLoss:
+			t.Fatalf("white to move loses at %s", g.String(p))
+		case game.OutcomeDraw:
+			draws++
+		case game.OutcomeWin:
+			if d := game.WDLDepth(v); d > maxDepth {
+				maxDepth, deepest = d, idx
+			}
+		}
+	}
+	if draws != 0 {
+		t.Errorf("%d white-to-move draws; KRK is always won with white to move", draws)
+	}
+	if maxDepth != 31 {
+		t.Errorf("longest mate takes %d plies at %s, want 31 (mate in 16)",
+			maxDepth, g.String(g.Decode(deepest)))
+	} else {
+		t.Logf("longest mate: %s, mate in %d plies", g.String(g.Decode(deepest)), maxDepth)
+	}
+}
+
+func TestPieceString(t *testing.T) {
+	if Rook.String() != "R" || Queen.String() != "Q" || Piece(9).String() != "Piece(9)" {
+		t.Error("Piece.String mismatch")
+	}
+	if _, err := NewWithPiece(8, Piece(9)); err == nil {
+		t.Error("NewWithPiece with unknown piece succeeded")
+	}
+	if MustNewWithPiece(8, Queen).Name() != "kqk-8x8" {
+		t.Error("KQK name mismatch")
+	}
+}
+
+func TestQueenAttacks(t *testing.T) {
+	g := MustNewWithPiece(8, Queen)
+	if !g.pieceAttacks(g.at("a1"), g.at("h8")) {
+		t.Error("queen does not attack along an open diagonal")
+	}
+	if !g.pieceAttacks(g.at("a1"), g.at("a8")) {
+		t.Error("queen does not attack along an open file")
+	}
+	if g.pieceAttacks(g.at("a1"), g.at("h8"), g.at("d4")) {
+		t.Error("queen attacks through a diagonal blocker")
+	}
+	if g.pieceAttacks(g.at("a1"), g.at("b3")) {
+		t.Error("queen attacks a knight-move square")
+	}
+}
+
+// TestValidateKQKSmall checks move/un-move inversion for the queen game.
+func TestValidateKQKSmall(t *testing.T) {
+	if err := game.Validate(MustNewWithPiece(4, Queen)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKQKTheory8x8: the longest KQK mate takes 10 moves (19 plies) — the
+// queen's textbook constant, alongside the rook's 16.
+func TestKQKTheory8x8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full KQK solve skipped in -short mode")
+	}
+	g := MustNewWithPiece(8, Queen)
+	r, err := (ra.Concurrent{}).Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDepth := 0
+	var deepest uint64
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		p := g.Decode(idx)
+		if !g.Valid(p) || !p.WhiteToMove {
+			continue
+		}
+		v := r.Values[idx]
+		switch game.WDLOutcome(v) {
+		case game.OutcomeLoss:
+			t.Fatalf("white to move loses at %s", g.String(p))
+		case game.OutcomeDraw:
+			t.Fatalf("white to move draws at %s (KQK is always won)", g.String(p))
+		case game.OutcomeWin:
+			if d := game.WDLDepth(v); d > maxDepth {
+				maxDepth, deepest = d, idx
+			}
+		}
+	}
+	if maxDepth != 19 {
+		t.Errorf("longest KQK mate takes %d plies at %s, want 19 (mate in 10)",
+			maxDepth, g.String(g.Decode(deepest)))
+	} else {
+		t.Logf("longest mate: %s, %d plies", g.String(g.Decode(deepest)), maxDepth)
+	}
+}
+
+// TestReducedKQKMatchesFull: symmetry reduction works for the queen too.
+func TestReducedKQKMatchesFull(t *testing.T) {
+	r, err := NewReducedWithPiece(5, Queen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "kqk-5x5-sym" {
+		t.Errorf("Name() = %q", r.Name())
+	}
+	fullRes := ra.SolveSequential(r.Full())
+	redRes := ra.SolveSequential(r)
+	for idx := uint64(0); idx < r.Full().Size(); idx++ {
+		p := r.Full().Decode(idx)
+		if !r.Full().Valid(p) {
+			continue
+		}
+		if redRes.Values[r.DenseOf(p)] != fullRes.Values[idx] {
+			t.Fatalf("position %s: reduced and full disagree", r.Full().String(p))
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package chess
+
+import (
+	"fmt"
+
+	"retrograde/internal/game"
+)
+
+// Reduced is KRK under symmetry reduction, the classic tablebase
+// technique: the board's eight symmetries (four rotations, four
+// reflections — KRK has no pawns, so all apply) partition positions into
+// orbits, and only one canonical representative per orbit is stored. The
+// database shrinks by nearly the orbit size (boundary positions have
+// smaller orbits), and unreachable indices disappear entirely because the
+// dense index covers exactly the canonical, valid positions.
+//
+// Reduced implements game.Game over that dense index space; values equal
+// the full game's at the canonical representative (symmetries are game
+// automorphisms, so outcomes and distances transfer exactly), which the
+// test suite verifies position by position.
+type Reduced struct {
+	g *Game
+	// dense maps dense index -> full-space canonical index.
+	dense []uint64
+	// toDense maps full-space index -> dense index, -1 when the position
+	// is invalid or not canonical.
+	toDense []int32
+}
+
+// NewReduced returns symmetry-reduced KRK on an m x m board.
+func NewReduced(m int) (*Reduced, error) { return NewReducedWithPiece(m, Rook) }
+
+// NewReducedWithPiece returns the symmetry-reduced endgame with white's
+// major piece chosen (KRK or KQK).
+func NewReducedWithPiece(m int, piece Piece) (*Reduced, error) {
+	g, err := NewWithPiece(m, piece)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reduced{g: g, toDense: make([]int32, g.Size())}
+	for i := range r.toDense {
+		r.toDense[i] = -1
+	}
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		p := g.Decode(idx)
+		if !g.Valid(p) {
+			continue
+		}
+		if r.canonIndex(p) != idx {
+			continue
+		}
+		r.toDense[idx] = int32(len(r.dense))
+		r.dense = append(r.dense, idx)
+	}
+	return r, nil
+}
+
+// MustNewReduced is NewReduced for statically known-valid sizes.
+func MustNewReduced(m int) *Reduced {
+	r, err := NewReduced(m)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Full returns the underlying unreduced game.
+func (r *Reduced) Full() *Game { return r.g }
+
+// transform applies symmetry s (0..7) to a square on an m-board.
+func transformSquare(sq, s, m int) int {
+	f, rk := sq%m, sq/m
+	M := m - 1
+	var nf, nr int
+	switch s {
+	case 0:
+		nf, nr = f, rk
+	case 1: // rotate 90
+		nf, nr = rk, M-f
+	case 2: // rotate 180
+		nf, nr = M-f, M-rk
+	case 3: // rotate 270
+		nf, nr = M-rk, f
+	case 4: // mirror files
+		nf, nr = M-f, rk
+	case 5: // mirror ranks
+		nf, nr = f, M-rk
+	case 6: // main diagonal
+		nf, nr = rk, f
+	default: // anti-diagonal
+		nf, nr = M-rk, M-f
+	}
+	return nr*m + nf
+}
+
+// transform applies symmetry s to a whole position.
+func (r *Reduced) transform(p Position, s int) Position {
+	m := r.g.m
+	return Position{
+		WhiteToMove: p.WhiteToMove,
+		WK:          transformSquare(p.WK, s, m),
+		WR:          transformSquare(p.WR, s, m),
+		BK:          transformSquare(p.BK, s, m),
+	}
+}
+
+// canonIndex returns the minimal full-space index over the position's
+// symmetry orbit — the orbit's canonical representative.
+func (r *Reduced) canonIndex(p Position) uint64 {
+	best := r.g.Encode(p)
+	for s := 1; s < 8; s++ {
+		if idx := r.g.Encode(r.transform(p, s)); idx < best {
+			best = idx
+		}
+	}
+	return best
+}
+
+// Canonical maps any full-space position to its canonical representative.
+func (r *Reduced) Canonical(p Position) Position {
+	return r.g.Decode(r.canonIndex(p))
+}
+
+// DenseOf returns the dense index of a full-space position (via its
+// canonical representative). It panics for invalid positions.
+func (r *Reduced) DenseOf(p Position) uint64 {
+	d := r.toDense[r.canonIndex(p)]
+	if d < 0 {
+		panic(fmt.Sprintf("chess: position %s has no canonical dense index", r.g.String(p)))
+	}
+	return uint64(d)
+}
+
+// Name implements game.Game.
+func (r *Reduced) Name() string { return r.g.Name() + "-sym" }
+
+// Size implements game.Game: the number of canonical valid positions.
+func (r *Reduced) Size() uint64 { return uint64(len(r.dense)) }
+
+// Moves implements game.Game: the full game's moves with internal
+// children mapped to their orbits' dense indices.
+func (r *Reduced) Moves(idx uint64, buf []game.Move) []game.Move {
+	full := r.dense[idx]
+	var fullMoves [32]game.Move
+	for _, m := range r.g.Moves(full, fullMoves[:0]) {
+		if !m.Internal {
+			buf = append(buf, m)
+			continue
+		}
+		child := r.g.Decode(m.Child)
+		buf = append(buf, game.Move{Internal: true, Child: r.DenseOf(child)})
+	}
+	return buf
+}
+
+// TerminalValue implements game.Game.
+func (r *Reduced) TerminalValue(idx uint64) game.Value {
+	return r.g.TerminalValue(r.dense[idx])
+}
+
+// Predecessors implements game.Game. A dense predecessor q of p exists
+// once per move of q's canonical representative whose child's orbit is
+// p's. Candidates come from the full game's predecessors of every
+// representative of p; each candidate is then verified (and its edge
+// multiplicity counted) against the reduced Moves.
+func (r *Reduced) Predecessors(idx uint64, buf []uint64) []uint64 {
+	full := r.dense[idx]
+	p := r.g.Decode(full)
+	seen := map[uint64]bool{}
+	var fullPreds [64]uint64
+	var moves [32]game.Move
+	for s := 0; s < 8; s++ {
+		rep := r.g.Encode(r.transform(p, s))
+		for _, q := range r.g.Predecessors(rep, fullPreds[:0]) {
+			qc := r.canonIndex(r.g.Decode(q))
+			if seen[qc] {
+				continue
+			}
+			seen[qc] = true
+			qd := uint64(r.toDense[qc])
+			// Count edges qd -> idx in the reduced graph.
+			for _, m := range r.Moves(qd, moves[:0]) {
+				if m.Internal && m.Child == idx {
+					buf = append(buf, qd)
+				}
+			}
+		}
+	}
+	return buf
+}
+
+// MoverValue implements game.Game.
+func (r *Reduced) MoverValue(child game.Value) game.Value { return r.g.MoverValue(child) }
+
+// Better implements game.Game.
+func (r *Reduced) Better(a, b game.Value) bool { return r.g.Better(a, b) }
+
+// Finalizes implements game.Game.
+func (r *Reduced) Finalizes(v game.Value) bool { return r.g.Finalizes(v) }
+
+// LoopValue implements game.Game.
+func (r *Reduced) LoopValue(idx uint64) game.Value { return r.g.LoopValue(r.dense[idx]) }
+
+// ValueBits implements game.Game.
+func (r *Reduced) ValueBits() int { return r.g.ValueBits() }

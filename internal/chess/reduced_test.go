@@ -1,0 +1,159 @@
+package chess
+
+import (
+	"testing"
+
+	"retrograde/internal/game"
+	"retrograde/internal/ra"
+)
+
+func TestTransformSquareIsPermutationGroup(t *testing.T) {
+	const m = 8
+	// Every symmetry is a bijection of squares.
+	for s := 0; s < 8; s++ {
+		seen := map[int]bool{}
+		for sq := 0; sq < m*m; sq++ {
+			tq := transformSquare(sq, s, m)
+			if tq < 0 || tq >= m*m || seen[tq] {
+				t.Fatalf("symmetry %d is not a bijection at %d", s, sq)
+			}
+			seen[tq] = true
+		}
+	}
+	// Identity is identity.
+	for sq := 0; sq < m*m; sq++ {
+		if transformSquare(sq, 0, m) != sq {
+			t.Fatal("symmetry 0 is not the identity")
+		}
+	}
+	// rot90 applied four times is the identity.
+	for sq := 0; sq < m*m; sq++ {
+		x := sq
+		for i := 0; i < 4; i++ {
+			x = transformSquare(x, 1, m)
+		}
+		if x != sq {
+			t.Fatalf("rot90^4 != id at %d", sq)
+		}
+	}
+	// Reflections are involutions.
+	for _, s := range []int{4, 5, 6, 7} {
+		for sq := 0; sq < m*m; sq++ {
+			if transformSquare(transformSquare(sq, s, m), s, m) != sq {
+				t.Fatalf("symmetry %d is not an involution at %d", s, sq)
+			}
+		}
+	}
+}
+
+func TestTransformPreservesGameStructure(t *testing.T) {
+	r := MustNewReduced(5)
+	g := r.g
+	// Validity, check status and move counts are symmetry-invariant.
+	for idx := uint64(0); idx < g.Size(); idx += 7 {
+		p := g.Decode(idx)
+		for s := 0; s < 8; s++ {
+			q := r.transform(p, s)
+			if g.Valid(p) != g.Valid(q) {
+				t.Fatalf("validity not invariant: %s vs %s", g.String(p), g.String(q))
+			}
+			if !g.Valid(p) {
+				continue
+			}
+			if g.InCheck(p) != g.InCheck(q) {
+				t.Fatalf("check not invariant: %s vs %s", g.String(p), g.String(q))
+			}
+			if len(g.Moves(g.Encode(p), nil)) != len(g.Moves(g.Encode(q), nil)) {
+				t.Fatalf("move counts not invariant: %s vs %s", g.String(p), g.String(q))
+			}
+		}
+	}
+}
+
+func TestReducedSizeShrinks(t *testing.T) {
+	for _, m := range []int{4, 5} {
+		r := MustNewReduced(m)
+		g := r.g
+		valid := uint64(0)
+		for idx := uint64(0); idx < g.Size(); idx++ {
+			if g.Valid(g.Decode(idx)) {
+				valid++
+			}
+		}
+		ratio := float64(valid) / float64(r.Size())
+		if ratio < 6 || ratio > 8 {
+			t.Errorf("m=%d: reduction ratio %.2f (valid %d, canonical %d), want ~8", m, ratio, valid, r.Size())
+		}
+	}
+}
+
+// TestReducedValidate checks the dense quotient graph's move/predecessor
+// inversion exhaustively on the 4x4 board.
+func TestReducedValidate(t *testing.T) {
+	if err := game.Validate(MustNewReduced(4)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReducedMatchesFull is the main equivalence theorem: the reduced
+// database holds exactly the full database's value at every canonical
+// representative — outcomes and distances.
+func TestReducedMatchesFull(t *testing.T) {
+	r := MustNewReduced(5)
+	full := r.g
+	fullRes := ra.SolveSequential(full)
+	redRes := ra.SolveSequential(r)
+	for idx := uint64(0); idx < full.Size(); idx++ {
+		p := full.Decode(idx)
+		if !full.Valid(p) {
+			continue
+		}
+		if got, want := redRes.Values[r.DenseOf(p)], fullRes.Values[idx]; got != want {
+			t.Fatalf("position %s: reduced %s, full %s",
+				full.String(p), game.WDLString(got), game.WDLString(want))
+		}
+	}
+	if err := ra.Audit(r, redRes); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReducedKRKTheory8x8 re-derives the mate-in-16 bound from the
+// reduced database — an eighth of the work.
+func TestReducedKRKTheory8x8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8x8 solve skipped in -short mode")
+	}
+	r := MustNewReduced(8)
+	res, err := (ra.Concurrent{}).Solve(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDepth := 0
+	for idx := uint64(0); idx < r.Size(); idx++ {
+		p := r.g.Decode(r.dense[idx])
+		if !p.WhiteToMove {
+			continue
+		}
+		v := res.Values[idx]
+		if game.WDLOutcome(v) != game.OutcomeWin {
+			t.Fatalf("white to move not winning at %s", r.g.String(p))
+		}
+		if d := game.WDLDepth(v); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth != 31 {
+		t.Errorf("longest mate %d plies, want 31", maxDepth)
+	}
+}
+
+func TestDenseOfPanicsOnInvalid(t *testing.T) {
+	r := MustNewReduced(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("DenseOf(invalid) did not panic")
+		}
+	}()
+	r.DenseOf(Position{WhiteToMove: true, WK: 0, WR: 0, BK: 0})
+}

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"testing"
+
+	"retrograde/internal/network"
+	"retrograde/internal/sim"
+)
+
+// fastNet has round numbers: 1 byte/us on the wire, no framing, 5us
+// propagation.
+func fastNet(k *sim.Kernel) network.Network {
+	e, err := network.NewEthernet(k, network.EthernetConfig{
+		BitsPerSec:  8_000_000,
+		Propagation: 5 * sim.Microsecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// unitCost charges 10us per message on each side, no per-byte cost.
+func unitCost() CostModel {
+	return CostModel{SendOverhead: 10 * sim.Microsecond, RecvOverhead: 10 * sim.Microsecond}
+}
+
+func TestNewValidation(t *testing.T) {
+	k := sim.New()
+	if _, err := New(k, fastNet(k), unitCost(), 0); err == nil {
+		t.Error("New(0 nodes) succeeded")
+	}
+}
+
+func TestSendReceiveTiming(t *testing.T) {
+	k := sim.New()
+	c, err := New(k, fastNet(k), unitCost(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt sim.Time
+	var from int
+	var payload any
+	c.Node(1).SetHandler(func(f int, p any) {
+		deliveredAt = k.Now()
+		from, payload = f, p
+	})
+	c.Node(0).Start(func() { c.Node(0).Send(1, "ping", 100) })
+	c.Run()
+	// 10us send overhead + 100us wire + 5us propagation = 115us.
+	if want := 115 * sim.Microsecond; deliveredAt != want {
+		t.Errorf("delivered at %v, want %v", deliveredAt, want)
+	}
+	if from != 0 || payload != "ping" {
+		t.Errorf("got %v from %d", payload, from)
+	}
+	s0, s1 := c.Node(0).Stats(), c.Node(1).Stats()
+	if s0.Sent != 1 || s0.SentBytes != 100 || s1.Received != 1 || s1.RecvBytes != 100 {
+		t.Errorf("stats: %+v / %+v", s0, s1)
+	}
+	// Receiver CPU charged for the receive.
+	if s1.Busy != 10*sim.Microsecond {
+		t.Errorf("receiver busy %v, want 10us", s1.Busy)
+	}
+}
+
+func TestCPUSerializesSends(t *testing.T) {
+	k := sim.New()
+	c, _ := New(k, fastNet(k), unitCost(), 2)
+	var arrivals []sim.Time
+	c.Node(1).SetHandler(func(int, any) { arrivals = append(arrivals, k.Now()) })
+	c.Node(0).Start(func() {
+		c.Node(0).Send(1, 1, 0) // zero-size: wire time 0
+		c.Node(0).Send(1, 2, 0) // must wait for the first send's CPU overhead
+	})
+	c.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[0] != 15*sim.Microsecond || arrivals[1] != 25*sim.Microsecond {
+		t.Errorf("arrivals = %v, want [15us 25us]", arrivals)
+	}
+}
+
+func TestBusyDelaysSubsequentWork(t *testing.T) {
+	k := sim.New()
+	c, _ := New(k, fastNet(k), unitCost(), 2)
+	c.Node(1).SetHandler(func(int, any) {})
+	c.Node(0).Start(func() {
+		c.Node(0).Busy(1 * sim.Millisecond) // long compute first
+		c.Node(0).Send(1, "x", 0)           // message leaves after the compute
+	})
+	end := c.Run()
+	// 1ms compute + 10us send + 5us propagation.
+	if want := 1*sim.Millisecond + 15*sim.Microsecond; end != want {
+		t.Errorf("end = %v, want %v", end, want)
+	}
+	if got := c.Node(0).Stats().Busy; got != 1*sim.Millisecond+10*sim.Microsecond {
+		t.Errorf("node 0 busy %v", got)
+	}
+}
+
+func TestPerByteCosts(t *testing.T) {
+	k := sim.New()
+	cost := CostModel{
+		SendOverhead: 10 * sim.Microsecond,
+		RecvOverhead: 10 * sim.Microsecond,
+		PerByteSend:  sim.Time(100),
+		PerByteRecv:  sim.Time(200),
+	}
+	c, _ := New(k, fastNet(k), cost, 2)
+	c.Node(1).SetHandler(func(int, any) {})
+	c.Node(0).Start(func() { c.Node(0).Send(1, "x", 1000) })
+	c.Run()
+	// Sender: 10us + 1000*100ns = 110us.
+	if got := c.Node(0).Stats().Busy; got != 110*sim.Microsecond {
+		t.Errorf("sender busy %v, want 110us", got)
+	}
+	// Receiver: 10us + 1000*200ns = 210us.
+	if got := c.Node(1).Stats().Busy; got != 210*sim.Microsecond {
+		t.Errorf("receiver busy %v, want 210us", got)
+	}
+}
+
+func TestBroadcastReachesAllOthers(t *testing.T) {
+	k := sim.New()
+	c, _ := New(k, fastNet(k), unitCost(), 4)
+	got := map[int]int{}
+	for i := 0; i < 4; i++ {
+		i := i
+		c.Node(i).SetHandler(func(from int, p any) { got[i] = from })
+	}
+	c.Node(2).Start(func() { c.Node(2).Send(network.Broadcast, "all", 10) })
+	c.Run()
+	if len(got) != 3 {
+		t.Fatalf("deliveries = %v", got)
+	}
+	for i, from := range got {
+		if from != 2 {
+			t.Errorf("node %d got broadcast from %d", i, from)
+		}
+	}
+}
+
+func TestHandlerRequired(t *testing.T) {
+	k := sim.New()
+	c, _ := New(k, fastNet(k), unitCost(), 2)
+	c.Node(0).Start(func() { c.Node(0).Send(1, "x", 0) })
+	defer func() {
+		if recover() == nil {
+			t.Error("delivery without handler did not panic")
+		}
+	}()
+	c.Run()
+}
+
+func TestNegativeArgumentsPanic(t *testing.T) {
+	k := sim.New()
+	c, _ := New(k, fastNet(k), unitCost(), 1)
+	for _, f := range []func(){
+		func() { c.Node(0).Busy(-1) },
+		func() { c.Node(0).Send(0, nil, -5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestDeterministicEndTime runs a message ping-pong twice and requires
+// identical virtual end times.
+func TestDeterministicEndTime(t *testing.T) {
+	run := func() sim.Time {
+		k := sim.New()
+		c, _ := New(k, fastNet(k), unitCost(), 2)
+		count := 0
+		for i := 0; i < 2; i++ {
+			i := i
+			c.Node(i).SetHandler(func(from int, p any) {
+				count++
+				if count < 20 {
+					c.Node(i).Busy(3 * sim.Microsecond)
+					c.Node(i).Send(from, p, 8)
+				}
+			})
+		}
+		c.Node(0).Start(func() { c.Node(0).Send(1, "ball", 8) })
+		return c.Run()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("end times differ: %v vs %v", a, b)
+	}
+}

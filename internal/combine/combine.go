@@ -1,0 +1,127 @@
+// Package combine implements message combining, the paper's central
+// optimisation: instead of transmitting every retrograde update as its own
+// (tiny) message, a sender appends updates into one buffer per destination
+// and transmits a buffer only when it fills or when forced at a
+// synchronisation point. On a network whose per-message cost dominates,
+// this reduces overhead by the combining factor (updates per message).
+//
+// The buffer is generic so the same code serves the distributed engine
+// (batching updates into simulated network messages) and the
+// shared-memory engine (batching updates into channel sends).
+package combine
+
+import "fmt"
+
+// Stats describes combining effectiveness.
+type Stats struct {
+	// Items is the number of items added.
+	Items uint64
+	// Flushes is the number of batches emitted.
+	Flushes uint64
+	// FullFlushes counts batches emitted because the buffer filled.
+	FullFlushes uint64
+	// ForcedFlushes counts batches emitted by FlushAll/FlushTo.
+	ForcedFlushes uint64
+	// MaxBatch is the largest batch emitted.
+	MaxBatch int
+}
+
+// Factor returns the combining factor: average items per emitted batch.
+func (s Stats) Factor() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.Items) / float64(s.Flushes)
+}
+
+// Buffer accumulates items per destination and emits them in batches.
+// Not safe for concurrent use; each sender owns its own Buffer.
+type Buffer[T any] struct {
+	capacity int
+	dests    [][]T
+	emit     func(dst int, batch []T)
+	stats    Stats
+}
+
+// New returns a Buffer over dests destinations that emits a batch through
+// emit whenever a destination accumulates capacity items. The emitted
+// slice is owned by the callee; the buffer never touches it again.
+// capacity 1 disables combining (every item is its own batch).
+func New[T any](dests, capacity int, emit func(dst int, batch []T)) (*Buffer[T], error) {
+	if dests < 1 {
+		return nil, fmt.Errorf("combine: need at least one destination, got %d", dests)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("combine: capacity must be positive, got %d", capacity)
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("combine: emit callback is required")
+	}
+	return &Buffer[T]{
+		capacity: capacity,
+		dests:    make([][]T, dests),
+		emit:     emit,
+	}, nil
+}
+
+// MustNew is New for statically known-valid arguments.
+func MustNew[T any](dests, capacity int, emit func(dst int, batch []T)) *Buffer[T] {
+	b, err := New(dests, capacity, emit)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Capacity returns the combining buffer size.
+func (b *Buffer[T]) Capacity() int { return b.capacity }
+
+// Add appends an item for dst, emitting the batch if it reaches capacity.
+func (b *Buffer[T]) Add(dst int, item T) {
+	q := b.dests[dst]
+	if q == nil {
+		q = make([]T, 0, b.capacity)
+	}
+	q = append(q, item)
+	b.stats.Items++
+	if len(q) >= b.capacity {
+		b.flush(dst, q, true)
+		b.dests[dst] = nil
+		return
+	}
+	b.dests[dst] = q
+}
+
+// Pending returns the number of buffered items for dst.
+func (b *Buffer[T]) Pending(dst int) int { return len(b.dests[dst]) }
+
+// FlushTo force-emits dst's partial batch, if any.
+func (b *Buffer[T]) FlushTo(dst int) {
+	if q := b.dests[dst]; len(q) > 0 {
+		b.flush(dst, q, false)
+		b.dests[dst] = nil
+	}
+}
+
+// FlushAll force-emits every partial batch, in destination order.
+func (b *Buffer[T]) FlushAll() {
+	for dst := range b.dests {
+		b.FlushTo(dst)
+	}
+}
+
+// Stats returns combining counters accumulated so far.
+func (b *Buffer[T]) Stats() Stats { return b.stats }
+
+func (b *Buffer[T]) flush(dst int, batch []T, full bool) {
+	b.stats.Flushes++
+	if full {
+		b.stats.FullFlushes++
+	} else {
+		b.stats.ForcedFlushes++
+	}
+	if len(batch) > b.stats.MaxBatch {
+		b.stats.MaxBatch = len(batch)
+	}
+	b.emit(dst, batch)
+}

@@ -1,0 +1,165 @@
+package combine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type emitted struct {
+	dst   int
+	batch []int
+}
+
+func collect(sink *[]emitted) func(int, []int) {
+	return func(dst int, batch []int) {
+		*sink = append(*sink, emitted{dst, batch})
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	emit := func(int, []int) {}
+	if _, err := New[int](0, 4, emit); err == nil {
+		t.Error("New with 0 destinations succeeded")
+	}
+	if _, err := New[int](2, 0, emit); err == nil {
+		t.Error("New with 0 capacity succeeded")
+	}
+	if _, err := New[int](2, 4, nil); err == nil {
+		t.Error("New with nil emit succeeded")
+	}
+}
+
+func TestFlushOnFull(t *testing.T) {
+	var out []emitted
+	b := MustNew(3, 4, collect(&out))
+	for i := 0; i < 9; i++ {
+		b.Add(1, i)
+	}
+	if len(out) != 2 {
+		t.Fatalf("emitted %d batches, want 2", len(out))
+	}
+	for _, e := range out {
+		if e.dst != 1 || len(e.batch) != 4 {
+			t.Errorf("batch %+v, want 4 items for dst 1", e)
+		}
+	}
+	if b.Pending(1) != 1 {
+		t.Errorf("Pending(1) = %d, want 1", b.Pending(1))
+	}
+	s := b.Stats()
+	if s.Items != 9 || s.Flushes != 2 || s.FullFlushes != 2 || s.ForcedFlushes != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Factor() != 4.5 {
+		t.Errorf("Factor() = %v, want 4.5", s.Factor())
+	}
+}
+
+func TestCapacityOneDisablesCombining(t *testing.T) {
+	var out []emitted
+	b := MustNew(2, 1, collect(&out))
+	for i := 0; i < 5; i++ {
+		b.Add(0, i)
+	}
+	if len(out) != 5 {
+		t.Fatalf("emitted %d batches, want 5", len(out))
+	}
+	for i, e := range out {
+		if len(e.batch) != 1 || e.batch[0] != i {
+			t.Errorf("batch %d = %+v", i, e)
+		}
+	}
+}
+
+func TestFlushToAndFlushAll(t *testing.T) {
+	var out []emitted
+	b := MustNew(3, 10, collect(&out))
+	b.Add(0, 1)
+	b.Add(2, 2)
+	b.Add(2, 3)
+	b.FlushTo(1) // empty: no batch
+	if len(out) != 0 {
+		t.Fatalf("FlushTo(empty) emitted %d batches", len(out))
+	}
+	b.FlushTo(2)
+	if len(out) != 1 || out[0].dst != 2 || len(out[0].batch) != 2 {
+		t.Fatalf("FlushTo(2) emitted %+v", out)
+	}
+	b.FlushAll()
+	if len(out) != 2 || out[1].dst != 0 {
+		t.Fatalf("FlushAll emitted %+v", out)
+	}
+	s := b.Stats()
+	if s.ForcedFlushes != 2 || s.FullFlushes != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MaxBatch != 2 {
+		t.Errorf("MaxBatch = %d, want 2", s.MaxBatch)
+	}
+}
+
+// TestBatchesAreNotReused ensures an emitted batch is never mutated by
+// later Adds — receivers may hold it indefinitely (channel sends,
+// in-flight simulated messages).
+func TestBatchesAreNotReused(t *testing.T) {
+	var out []emitted
+	b := MustNew(1, 2, collect(&out))
+	for i := 0; i < 8; i++ {
+		b.Add(0, i)
+	}
+	for bi, e := range out {
+		for i, v := range e.batch {
+			if v != bi*2+i {
+				t.Fatalf("batch %d corrupted: %v", bi, out)
+			}
+		}
+	}
+}
+
+// TestNoItemLostOrDuplicated is the conservation property: every item
+// added appears in exactly one emitted batch after a final FlushAll,
+// in per-destination FIFO order.
+func TestNoItemLostOrDuplicated(t *testing.T) {
+	f := func(destsRaw, capRaw uint8, items []uint8) bool {
+		dests := int(destsRaw%5) + 1
+		capacity := int(capRaw%7) + 1
+		var got [][]int
+		for i := 0; i < dests; i++ {
+			got = append(got, nil)
+		}
+		b := MustNew(dests, capacity, func(dst int, batch []int) {
+			got[dst] = append(got[dst], batch...)
+		})
+		want := make([][]int, dests)
+		for i, raw := range items {
+			dst := int(raw) % dests
+			b.Add(dst, i)
+			want[dst] = append(want[dst], i)
+		}
+		b.FlushAll()
+		for d := 0; d < dests; d++ {
+			if len(got[d]) != len(want[d]) {
+				return false
+			}
+			for i := range want[d] {
+				if got[d][i] != want[d][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorEmptyBuffer(t *testing.T) {
+	b := MustNew(1, 4, func(int, []int) {})
+	if b.Stats().Factor() != 0 {
+		t.Error("Factor of empty buffer should be 0")
+	}
+	if b.Capacity() != 4 {
+		t.Error("Capacity mismatch")
+	}
+}

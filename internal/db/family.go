@@ -1,0 +1,165 @@
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"retrograde/internal/game"
+	"retrograde/internal/index"
+)
+
+// Family stores a whole ladder of mancala databases (totals 0..MaxTotal
+// over a fixed pit count) in one packed table, addressed through the
+// cumulative combinatorial index: rung t occupies the index interval
+// [C(t-1+pits, pits), C(t+pits, pits)). One file then serves every probe
+// a search or query tool makes, whatever the stone count.
+type Family struct {
+	name     string
+	pits     int
+	maxTotal int
+	cs       *index.CumulativeSpace
+	table    *Table
+}
+
+// NewFamily allocates a zeroed family of databases.
+func NewFamily(name string, pits, maxTotal, bits int) (*Family, error) {
+	cs, err := index.NewCumulativeSpace(pits, maxTotal)
+	if err != nil {
+		return nil, err
+	}
+	t, err := NewTable(name, cs.Size(), bits)
+	if err != nil {
+		return nil, err
+	}
+	return &Family{name: name, pits: pits, maxTotal: maxTotal, cs: cs, table: t}, nil
+}
+
+// PackFamily fills a family from per-rung value slices: valuesOf(t) must
+// return exactly C(t+pits-1, pits-1) values for every total t.
+func PackFamily(name string, pits, maxTotal, bits int, valuesOf func(total int) []game.Value) (*Family, error) {
+	f, err := NewFamily(name, pits, maxTotal, bits)
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t <= maxTotal; t++ {
+		values := valuesOf(t)
+		if uint64(len(values)) != f.cs.Space(t).Size() {
+			return nil, fmt.Errorf("db: rung %d has %d values, want %d", t, len(values), f.cs.Space(t).Size())
+		}
+		base := f.cs.Offset(t)
+		for i, v := range values {
+			if v == game.NoValue {
+				return nil, fmt.Errorf("db: rung %d value %d is NoValue", t, i)
+			}
+			if uint64(v) >= 1<<bits {
+				return nil, fmt.Errorf("db: rung %d value %d does not fit in %d bits", t, v, bits)
+			}
+			f.table.Set(base+uint64(i), v)
+		}
+	}
+	return f, nil
+}
+
+// Name returns the family's identifier.
+func (f *Family) Name() string { return f.name }
+
+// Pits returns the board's pit count.
+func (f *Family) Pits() int { return f.pits }
+
+// MaxTotal returns the largest rung stored.
+func (f *Family) MaxTotal() int { return f.maxTotal }
+
+// Bytes returns the packed storage size.
+func (f *Family) Bytes() uint64 { return f.table.Bytes() }
+
+// Get returns the value of position idx of the total-stone rung.
+func (f *Family) Get(total int, idx uint64) game.Value {
+	if total < 0 || total > f.maxTotal {
+		panic(fmt.Sprintf("db: family rung %d out of range [0, %d]", total, f.maxTotal))
+	}
+	if idx >= f.cs.Space(total).Size() {
+		panic(fmt.Sprintf("db: family rung %d index %d out of range [0, %d)", total, idx, f.cs.Space(total).Size()))
+	}
+	return f.table.Get(f.cs.Offset(total) + idx)
+}
+
+// Family file format: magic "RAFY" | version u32 | pits u32 | maxTotal u32
+// followed by the embedded table (with its own checksum).
+const (
+	familyMagic   = "RAFY"
+	familyVersion = 1
+)
+
+// WriteTo serialises the family.
+func (f *Family) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, familyMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, familyVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(f.pits))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(f.maxTotal))
+	n, err := w.Write(hdr)
+	if err != nil {
+		return int64(n), err
+	}
+	tn, err := f.table.WriteTo(w)
+	return int64(n) + tn, err
+}
+
+// ReadFamily deserialises a family written by WriteTo.
+func ReadFamily(r io.Reader) (*Family, error) {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("db: reading family header: %w", err)
+	}
+	if string(hdr[:4]) != familyMagic {
+		return nil, fmt.Errorf("db: bad family magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != familyVersion {
+		return nil, fmt.Errorf("db: unsupported family version %d", v)
+	}
+	pits := int(binary.LittleEndian.Uint32(hdr[8:]))
+	maxTotal := int(binary.LittleEndian.Uint32(hdr[12:]))
+	cs, err := index.NewCumulativeSpace(pits, maxTotal)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if t.Size() != cs.Size() {
+		return nil, fmt.Errorf("db: family table holds %d entries, want %d", t.Size(), cs.Size())
+	}
+	return &Family{name: t.Name(), pits: pits, maxTotal: maxTotal, cs: cs, table: t}, nil
+}
+
+// Save writes the family to a file.
+func (f *Family) Save(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(file)
+	if _, err := f.WriteTo(bw); err != nil {
+		file.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// LoadFamily reads a family from a file.
+func LoadFamily(path string) (*Family, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return ReadFamily(bufio.NewReader(file))
+}

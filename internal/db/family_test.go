@@ -1,0 +1,146 @@
+package db
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"retrograde/internal/game"
+	"retrograde/internal/index"
+)
+
+// fakeValues returns deterministic per-rung values: value = (total + idx) % 2^bits.
+func fakeValues(pits, total, bits int) []game.Value {
+	size := index.Binomial(total+pits-1, pits-1)
+	vs := make([]game.Value, size)
+	for i := range vs {
+		vs[i] = game.Value((uint64(total) + uint64(i)) % (1 << bits))
+	}
+	return vs
+}
+
+func TestPackFamilyAndGet(t *testing.T) {
+	const pits, maxTotal, bits = 4, 6, 3
+	f, err := PackFamily("fam", pits, maxTotal, bits, func(total int) []game.Value {
+		return fakeValues(pits, total, bits)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Pits() != pits || f.MaxTotal() != maxTotal || f.Name() != "fam" {
+		t.Fatalf("metadata: %d %d %q", f.Pits(), f.MaxTotal(), f.Name())
+	}
+	for total := 0; total <= maxTotal; total++ {
+		want := fakeValues(pits, total, bits)
+		for i, w := range want {
+			if got := f.Get(total, uint64(i)); got != w {
+				t.Fatalf("rung %d idx %d: %d, want %d", total, i, got, w)
+			}
+		}
+	}
+}
+
+func TestPackFamilyRejectsBadInput(t *testing.T) {
+	if _, err := PackFamily("x", 4, 3, 2, func(total int) []game.Value {
+		return []game.Value{0} // wrong size for totals > 0
+	}); err == nil {
+		t.Error("wrong-size rung accepted")
+	}
+	if _, err := PackFamily("x", 4, 0, 2, func(int) []game.Value {
+		return []game.Value{game.NoValue}
+	}); err == nil {
+		t.Error("NoValue accepted")
+	}
+	if _, err := PackFamily("x", 4, 0, 2, func(int) []game.Value {
+		return []game.Value{9}
+	}); err == nil {
+		t.Error("oversized value accepted")
+	}
+	if _, err := NewFamily("x", 0, 3, 2); err == nil {
+		t.Error("0 pits accepted")
+	}
+}
+
+func TestFamilySerializationRoundTrip(t *testing.T) {
+	const pits, maxTotal, bits = 12, 5, 4
+	f, err := PackFamily("awari", pits, maxTotal, bits, func(total int) []game.Value {
+		return fakeValues(pits, total, bits)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFamily(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for total := 0; total <= maxTotal; total++ {
+		want := fakeValues(pits, total, bits)
+		for i, w := range want {
+			if back.Get(total, uint64(i)) != w {
+				t.Fatalf("rung %d idx %d corrupted", total, i)
+			}
+		}
+	}
+	if back.Bytes() != f.Bytes() {
+		t.Errorf("Bytes() changed: %d vs %d", back.Bytes(), f.Bytes())
+	}
+}
+
+func TestFamilySaveLoad(t *testing.T) {
+	f, err := PackFamily("sl", 3, 4, 2, func(total int) []game.Value {
+		return fakeValues(3, total, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fam.rafy")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFamily(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Get(4, 0) != f.Get(4, 0) {
+		t.Error("values corrupted after save/load")
+	}
+	if _, err := LoadFamily(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadFamilyRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("NOPEnopeNOPEnope"),
+		// valid magic, bad version
+		append([]byte("RAFY"), []byte{9, 0, 0, 0, 4, 0, 0, 0, 2, 0, 0, 0}...),
+	}
+	for i, data := range cases {
+		if _, err := ReadFamily(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFamilyGetPanics(t *testing.T) {
+	f, _ := NewFamily("p", 3, 2, 2)
+	for _, fn := range []func(){
+		func() { f.Get(-1, 0) },
+		func() { f.Get(3, 0) },
+		func() { f.Get(2, f.cs.Space(2).Size()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

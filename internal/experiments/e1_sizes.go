@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"retrograde/internal/awari"
+	"retrograde/internal/db"
+	"retrograde/internal/stats"
+)
+
+// workingSetBytesPerPosition is the analysis-time footprint of one
+// position in this implementation: a 2-byte value, a 4-byte successor
+// counter and a 1-byte final flag (queues excluded; they are transient).
+const workingSetBytesPerPosition = 7
+
+// E1DatabaseSizes reproduces the paper's database-size table and its
+// memory claim (">600 MByte of internal memory on a uniprocessor"): for
+// each stone count, the exact position count C(n+11, 11), the packed
+// on-disk size, the uniprocessor working set during retrograde analysis,
+// and that working set divided over 64 processors.
+//
+// No computation is needed — position counts are binomials — so the table
+// always covers the paper's full range regardless of Scale.
+func E1DatabaseSizes(maxStones int) *stats.Table {
+	t := stats.NewTable(
+		"E1: awari database sizes (positions are exact binomials)",
+		"stones", "positions", "packed db", "working set (1 proc)", "working set (64 procs)")
+	var crossed bool
+	for n := 1; n <= maxStones; n++ {
+		size := awari.Size(n)
+		bits := valueBits(n)
+		ws := size * workingSetBytesPerPosition
+		t.Row(n,
+			stats.Count(size),
+			stats.Bytes(db.PackedBytes(size, bits)),
+			stats.Bytes(ws),
+			stats.Bytes(ws/64))
+		if !crossed && ws > 600<<20 {
+			crossed = true
+			t.Note("the %d-stone database is the first whose working set exceeds the paper's 600 MByte uniprocessor limit", n)
+		}
+	}
+	t.Note("working set = %d bytes/position (2 value + 4 counter + 1 flag) during analysis", workingSetBytesPerPosition)
+	t.Note("the paper's 13-stone database: %s positions", stats.Count(awari.Size(13)))
+	return t
+}
+
+// valueBits mirrors awari.Slice.ValueBits without needing a lookup.
+func valueBits(stones int) int {
+	bits := 1
+	for 1<<bits <= stones {
+		bits++
+	}
+	return bits
+}

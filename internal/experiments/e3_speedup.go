@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+
+	"retrograde/internal/ra"
+	"retrograde/internal/stats"
+)
+
+// E3Speedup reproduces the paper's headline figure: speedup of the
+// distributed algorithm (message combining on) against the number of
+// processors. The paper measured a speedup of 48 on 64 processors
+// (50 minutes vs 40 hours); this regenerates the curve on the simulated
+// Ethernet cluster in virtual time.
+func E3Speedup(env *Env) (*stats.Table, error) {
+	t := stats.NewTable(
+		fmt.Sprintf("E3: speedup vs processors (awari-%d, combining on)", env.Scale.Stones),
+		"procs", "virtual time", "speedup", "efficiency", "wire msgs", "combining factor", "bus busy %")
+	var base float64
+	for _, p := range env.Scale.Procs {
+		_, rep, err := env.solveDistributed(ra.Distributed{Workers: p})
+		if err != nil {
+			return nil, err
+		}
+		secs := rep.Duration.Seconds()
+		if p == env.Scale.Procs[0] {
+			base = secs * float64(p) // normalise to 1 processor
+		}
+		speedup := base / secs
+		t.Row(p,
+			rep.Duration.String(),
+			speedup,
+			speedup/float64(p),
+			stats.Count(rep.DataMessages+rep.ProtocolMessages),
+			rep.Combining.Factor(),
+			100*rep.Net.Busy.Seconds()/secs)
+	}
+	t.Note("the paper reports speedup 48 on 64 processors; expect the same shape (near-linear, then bus/barrier limited)")
+	return t, nil
+}

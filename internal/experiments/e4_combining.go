@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"retrograde/internal/ra"
+	"retrograde/internal/stats"
+)
+
+// E4Combining reproduces the paper's message-combining comparison ("the
+// overhead can be reduced drastically using message combining"): the same
+// distributed build with the combining buffer swept from 1 update per
+// message (the naive algorithm) upwards, at a fixed processor count.
+func E4Combining(env *Env) (*stats.Table, error) {
+	p := maxProcs(env.Scale.Procs)
+	t := stats.NewTable(
+		fmt.Sprintf("E4: message combining (awari-%d, %d processors)", env.Scale.Stones, p),
+		"updates/msg", "virtual time", "slowdown", "wire msgs", "wire bytes", "combining factor")
+	var best float64
+	type rowData struct {
+		size int
+		rep  *ra.SimReport
+	}
+	var data []rowData
+	for _, c := range env.Scale.CombineSizes {
+		_, rep, err := env.solveDistributed(ra.Distributed{Workers: p, Combine: c})
+		if err != nil {
+			return nil, err
+		}
+		data = append(data, rowData{c, rep})
+		secs := rep.Duration.Seconds()
+		if best == 0 || secs < best {
+			best = secs
+		}
+	}
+	for _, d := range data {
+		t.Row(d.size,
+			d.rep.Duration.String(),
+			d.rep.Duration.Seconds()/best,
+			stats.Count(d.rep.DataMessages),
+			stats.Bytes(d.rep.Net.Payload),
+			d.rep.Combining.Factor())
+	}
+	t.Note("updates/msg = 1 is the naive algorithm the paper rejects")
+	return t, nil
+}
+
+// E4bAcrossProcs compares the naive (1 update/message) and combined runs
+// at every processor count: the message-count reduction is the paper's
+// "reduced drastically" claim.
+func E4bAcrossProcs(env *Env) (*stats.Table, error) {
+	t := stats.NewTable(
+		fmt.Sprintf("E4b: naive vs combined across processors (awari-%d)", env.Scale.Stones),
+		"procs", "naive msgs", "combined msgs", "msg reduction", "naive time", "combined time", "time ratio")
+	for _, p := range env.Scale.Procs {
+		if p == 1 {
+			continue // no communication on one node
+		}
+		_, naive, err := env.solveDistributed(ra.Distributed{Workers: p, Combine: 1})
+		if err != nil {
+			return nil, err
+		}
+		_, comb, err := env.solveDistributed(ra.Distributed{Workers: p})
+		if err != nil {
+			return nil, err
+		}
+		t.Row(p,
+			stats.Count(naive.DataMessages),
+			stats.Count(comb.DataMessages),
+			float64(naive.DataMessages)/float64(comb.DataMessages),
+			naive.Duration.String(),
+			comb.Duration.String(),
+			naive.Duration.Seconds()/comb.Duration.Seconds())
+	}
+	t.Note("message reduction approaches the combining buffer size where waves are dense (small p) and falls toward 1 as per-destination wave traffic thins out")
+	return t, nil
+}
+
+func maxProcs(procs []int) int {
+	m := 1
+	for _, p := range procs {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}

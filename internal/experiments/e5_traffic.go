@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"retrograde/internal/ra"
+	"retrograde/internal/stats"
+)
+
+// E5Traffic details the communication structure of one combined run: how
+// many updates stayed local vs crossed the wire, the per-node send/recv
+// balance, protocol overhead, and bus occupancy — the quantities behind
+// the paper's claim that combining makes Ethernet-based retrograde
+// analysis feasible.
+func E5Traffic(env *Env) (*stats.Table, error) {
+	p := maxProcs(env.Scale.Procs)
+	_, rep, err := env.solveDistributed(ra.Distributed{Workers: p})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("E5: traffic breakdown (awari-%d, %d processors, combining on)", env.Scale.Stones, p),
+		"quantity", "value")
+	total := rep.LocalUpdates + rep.RemoteUpdates
+	t.Row("updates generated", stats.Count(total))
+	t.Row("updates local", fmt.Sprintf("%s (%.1f%%)", stats.Count(rep.LocalUpdates), pct(rep.LocalUpdates, total)))
+	t.Row("updates remote", fmt.Sprintf("%s (%.1f%%)", stats.Count(rep.RemoteUpdates), pct(rep.RemoteUpdates, total)))
+	t.Row("data messages (wire)", stats.Count(rep.DataMessages))
+	t.Row("protocol messages", stats.Count(rep.ProtocolMessages))
+	t.Row("combining factor", fmt.Sprintf("%.1f", rep.Combining.Factor()))
+	t.Row("full flushes", stats.Count(rep.Combining.FullFlushes))
+	t.Row("forced flushes (wave end)", stats.Count(rep.Combining.ForcedFlushes))
+	t.Row("payload bytes", stats.Bytes(rep.Net.Payload))
+	t.Row("wire bytes (with framing)", stats.Bytes(rep.Net.Wire))
+	t.Row("bus busy", fmt.Sprintf("%v (%.1f%% of run)", rep.Net.Busy, 100*rep.Net.Busy.Seconds()/rep.Duration.Seconds()))
+
+	sent := make([]float64, len(rep.Nodes))
+	recv := make([]float64, len(rep.Nodes))
+	busy := make([]float64, len(rep.Nodes))
+	for i, ns := range rep.Nodes {
+		sent[i] = float64(ns.Sent)
+		recv[i] = float64(ns.Received)
+		busy[i] = ns.Busy.Seconds()
+	}
+	bs, br, bb := stats.ComputeBalance(sent), stats.ComputeBalance(recv), stats.ComputeBalance(busy)
+	t.Row("send balance (max/mean)", fmt.Sprintf("%.3f", bs.Imbalance))
+	t.Row("recv balance (max/mean)", fmt.Sprintf("%.3f", br.Imbalance))
+	t.Row("cpu balance (max/mean)", fmt.Sprintf("%.3f", bb.Imbalance))
+	return t, nil
+}
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

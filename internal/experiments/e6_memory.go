@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/ra"
+	"retrograde/internal/stats"
+)
+
+// E6Memory reproduces the paper's memory-scaling argument: the database
+// that "would have required over 600 MByte of internal memory on a
+// uniprocessor" fits once the position space is partitioned. The first
+// table measures real per-node working sets on the headline rung; the
+// second extrapolates to paper-scale databases arithmetically (shard
+// sizes are exact, bytes/position is the measured constant).
+func E6Memory(env *Env) ([]*stats.Table, error) {
+	measured := stats.NewTable(
+		fmt.Sprintf("E6a: measured working set (awari-%d)", env.Scale.Stones),
+		"procs", "max node working set", "sum over nodes", "vs uniprocessor")
+	slice := env.Headline()
+	var uni uint64
+	for _, p := range env.Scale.Procs {
+		part := ra.Cyclic(slice.Size(), p)
+		var maxWS, sum uint64
+		for w := 0; w < p; w++ {
+			worker := ra.NewWorker(slice, part, w)
+			ws := worker.WorkingSetBytes()
+			if ws > maxWS {
+				maxWS = ws
+			}
+			sum += ws
+		}
+		if p == 1 {
+			uni = maxWS
+		}
+		measured.Row(p, stats.Bytes(maxWS), stats.Bytes(sum), fmt.Sprintf("1/%.1f", float64(uni)/float64(maxWS)))
+	}
+	measured.Note("working set = value/counter/flag arrays actually allocated per shard")
+
+	extrap := stats.NewTable(
+		"E6b: extrapolated working sets at paper scale (7 bytes/position)",
+		"stones", "positions", "uniprocessor", "per node at 64 procs", "fits 64 MiB node?")
+	for _, n := range []int{13, 15, 17, 19, 21, 23} {
+		size := awari.Size(n)
+		uniWS := size * workingSetBytesPerPosition
+		per := (size/64 + 1) * workingSetBytesPerPosition
+		fits := "yes"
+		if per > 64<<20 {
+			fits = "no"
+		}
+		extrap.Row(n, stats.Count(size), stats.Bytes(uniWS), stats.Bytes(per), fits)
+	}
+	extrap.Note("the paper's >600 MByte database is infeasible on one 1995 machine but its 1/64 shard fits easily")
+	return []*stats.Table{measured, extrap}, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"retrograde/internal/ra"
+	"retrograde/internal/stats"
+)
+
+// E7SharedMemory anchors the simulation in reality: the same algorithm
+// run with real goroutines on the host's cores, measuring wall-clock
+// speedup with and without update batching (batching is to channels what
+// message combining is to the Ethernet — the same idea at a different
+// cost scale).
+func E7SharedMemory(env *Env) (*stats.Table, error) {
+	maxP := runtime.GOMAXPROCS(0)
+	t := stats.NewTable(
+		fmt.Sprintf("E7: real shared-memory build (awari-%d, host has %d cores)", env.Scale.Stones, maxP),
+		"goroutines", "batched wall ms", "speedup", "unbatched wall ms", "batching gain")
+	slice := env.Headline()
+	var base float64
+	for p := 1; p <= maxP; p *= 2 {
+		var err error
+		batched := wallTime(func() {
+			_, err = ra.Concurrent{Workers: p, Batch: 256}.Solve(slice)
+		})
+		if err != nil {
+			return nil, err
+		}
+		unbatched := wallTime(func() {
+			_, err = ra.Concurrent{Workers: p, Batch: 1}.Solve(slice)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if p == 1 {
+			base = batched.Seconds()
+		}
+		t.Row(p,
+			batched.Milliseconds(),
+			base/batched.Seconds(),
+			unbatched.Milliseconds(),
+			unbatched.Seconds()/batched.Seconds())
+	}
+	t.Note("wall-clock numbers vary with host load; shapes (speedup up, batching gain > 1) are the result")
+	return t, nil
+}

@@ -1,0 +1,115 @@
+package game
+
+import "fmt"
+
+// WDL value encoding: win/draw/loss for the player to move plus a
+// distance-to-end in plies, packed into a Value as
+//
+//	bits 14..15: outcome (0 = loss, 1 = draw, 2 = win)
+//	bits  0..13: distance in plies (0..16382)
+//
+// Distances count plies until the game ends under optimal play by both
+// sides, where "optimal" means the winner minimises and the loser
+// maximises the distance. NoValue (0xFFFF) is outside the encoding (its
+// outcome field would be 3).
+
+// Outcome is the game-theoretic result for the player to move.
+type Outcome uint8
+
+// Outcomes, ordered from worst to best for the player to move.
+const (
+	OutcomeLoss Outcome = 0
+	OutcomeDraw Outcome = 1
+	OutcomeWin  Outcome = 2
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeLoss:
+		return "loss"
+	case OutcomeDraw:
+		return "draw"
+	case OutcomeWin:
+		return "win"
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// MaxDepth is the largest encodable distance-to-end.
+const MaxDepth = 1<<14 - 2
+
+// WDL packs an outcome and a depth into a Value.
+func WDL(o Outcome, depth int) Value {
+	if depth < 0 || depth > MaxDepth {
+		panic(fmt.Sprintf("game: WDL depth %d out of range [0, %d]", depth, MaxDepth))
+	}
+	if o > OutcomeWin {
+		panic(fmt.Sprintf("game: WDL outcome %d invalid", o))
+	}
+	return Value(uint16(o)<<14 | uint16(depth))
+}
+
+// Win returns a win-in-depth value.
+func Win(depth int) Value { return WDL(OutcomeWin, depth) }
+
+// Loss returns a loss-in-depth value.
+func Loss(depth int) Value { return WDL(OutcomeLoss, depth) }
+
+// Draw is the draw value (distance 0 by convention).
+var Draw = WDL(OutcomeDraw, 0)
+
+// WDLOutcome extracts the outcome of a WDL-encoded value.
+func WDLOutcome(v Value) Outcome {
+	if v == NoValue {
+		panic("game: WDLOutcome of NoValue")
+	}
+	return Outcome(v >> 14)
+}
+
+// WDLDepth extracts the distance of a WDL-encoded value.
+func WDLDepth(v Value) int { return int(v & (1<<14 - 1)) }
+
+// WDLNegate converts a child's WDL value into the mover's value for
+// moving there: a position one ply before a won (for the opponent)
+// position is lost, and vice versa; distance grows by one ply.
+func WDLNegate(child Value) Value {
+	d := WDLDepth(child)
+	switch WDLOutcome(child) {
+	case OutcomeWin:
+		return Loss(d + 1)
+	case OutcomeLoss:
+		return Win(d + 1)
+	default:
+		return Draw
+	}
+}
+
+// WDLBetter reports whether a is strictly better than b for the player to
+// move: win beats draw beats loss; among wins shorter is better; among
+// losses longer is better; draws are equal.
+func WDLBetter(a, b Value) bool {
+	oa, ob := WDLOutcome(a), WDLOutcome(b)
+	if oa != ob {
+		return oa > ob
+	}
+	switch oa {
+	case OutcomeWin:
+		return WDLDepth(a) < WDLDepth(b)
+	case OutcomeLoss:
+		return WDLDepth(a) > WDLDepth(b)
+	default:
+		return false
+	}
+}
+
+// WDLString formats a WDL value for humans, e.g. "win in 3".
+func WDLString(v Value) string {
+	if v == NoValue {
+		return "unknown"
+	}
+	o := WDLOutcome(v)
+	if o == OutcomeDraw {
+		return "draw"
+	}
+	return fmt.Sprintf("%s in %d", o, WDLDepth(v))
+}

@@ -1,0 +1,260 @@
+package game
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWDLRoundTrip(t *testing.T) {
+	for _, o := range []Outcome{OutcomeLoss, OutcomeDraw, OutcomeWin} {
+		for _, d := range []int{0, 1, 2, 100, MaxDepth} {
+			v := WDL(o, d)
+			if v == NoValue {
+				t.Fatalf("WDL(%v, %d) collides with NoValue", o, d)
+			}
+			if WDLOutcome(v) != o || WDLDepth(v) != d {
+				t.Errorf("WDL(%v, %d) decoded as (%v, %d)", o, d, WDLOutcome(v), WDLDepth(v))
+			}
+		}
+	}
+}
+
+func TestWDLPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { WDL(OutcomeWin, -1) },
+		func() { WDL(OutcomeWin, MaxDepth+1) },
+		func() { WDL(Outcome(3), 0) },
+		func() { WDLOutcome(NoValue) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWDLNegate(t *testing.T) {
+	cases := []struct{ in, want Value }{
+		{Win(0), Loss(1)},
+		{Win(5), Loss(6)},
+		{Loss(0), Win(1)},
+		{Loss(9), Win(10)},
+		{Draw, Draw},
+	}
+	for _, c := range cases {
+		if got := WDLNegate(c.in); got != c.want {
+			t.Errorf("WDLNegate(%s) = %s, want %s", WDLString(c.in), WDLString(got), WDLString(c.want))
+		}
+	}
+}
+
+func TestWDLBetterOrdering(t *testing.T) {
+	// Strictly increasing preference for the mover.
+	asc := []Value{Loss(0), Loss(3), Loss(10), Draw, Win(10), Win(3), Win(0)}
+	for i := range asc {
+		for j := range asc {
+			want := j > i
+			if got := WDLBetter(asc[j], asc[i]); got != want {
+				t.Errorf("WDLBetter(%s, %s) = %v, want %v", WDLString(asc[j]), WDLString(asc[i]), got, want)
+			}
+		}
+	}
+}
+
+func TestWDLBetterIrreflexiveAntisymmetric(t *testing.T) {
+	f := func(a16, b16 uint16) bool {
+		a := WDL(Outcome(a16%3), int(a16)%MaxDepth)
+		b := WDL(Outcome(b16%3), int(b16)%MaxDepth)
+		if WDLBetter(a, a) || WDLBetter(b, b) {
+			return false // irreflexive
+		}
+		if WDLBetter(a, b) && WDLBetter(b, a) {
+			return false // antisymmetric
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWDLString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Win(3), "win in 3"},
+		{Loss(0), "loss in 0"},
+		{Draw, "draw"},
+		{NoValue, "unknown"},
+	}
+	for _, c := range cases {
+		if got := WDLString(c.v); got != c.want {
+			t.Errorf("WDLString(%d) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if OutcomeWin.String() != "win" || OutcomeLoss.String() != "loss" || OutcomeDraw.String() != "draw" {
+		t.Error("Outcome.String mismatch")
+	}
+	if Outcome(7).String() != "Outcome(7)" {
+		t.Errorf("Outcome(7).String() = %q", Outcome(7).String())
+	}
+}
+
+// fakeGame exercises BetterOf and Validate on a tiny hand-built graph.
+type fakeGame struct {
+	name  string
+	moves map[uint64][]Move
+	preds map[uint64][]uint64
+	size  uint64
+}
+
+func (f *fakeGame) Name() string { return f.name }
+func (f *fakeGame) Size() uint64 { return f.size }
+func (f *fakeGame) Moves(idx uint64, buf []Move) []Move {
+	return append(buf, f.moves[idx]...)
+}
+func (f *fakeGame) TerminalValue(uint64) Value { return Loss(0) }
+func (f *fakeGame) Predecessors(idx uint64, buf []uint64) []uint64 {
+	return append(buf, f.preds[idx]...)
+}
+func (f *fakeGame) MoverValue(child Value) Value { return WDLNegate(child) }
+func (f *fakeGame) Better(a, b Value) bool       { return WDLBetter(a, b) }
+func (f *fakeGame) Finalizes(v Value) bool       { return WDLOutcome(v) == OutcomeWin }
+func (f *fakeGame) LoopValue(uint64) Value       { return Draw }
+func (f *fakeGame) ValueBits() int               { return 16 }
+
+func TestBetterOf(t *testing.T) {
+	g := &fakeGame{}
+	if BetterOf(g, NoValue, Win(1)) != Win(1) {
+		t.Error("BetterOf(NoValue, x) != x")
+	}
+	if BetterOf(g, Win(1), NoValue) != Win(1) {
+		t.Error("BetterOf(x, NoValue) != x")
+	}
+	if BetterOf(g, Loss(2), Draw) != Draw {
+		t.Error("BetterOf did not pick the better value")
+	}
+	if BetterOf(g, Draw, Loss(2)) != Draw {
+		t.Error("BetterOf is not symmetric in result")
+	}
+}
+
+func TestValidateAcceptsConsistentGame(t *testing.T) {
+	// 0 -> 1 -> 2(terminal); 0 -> 2 as well.
+	g := &fakeGame{
+		name: "ok",
+		size: 3,
+		moves: map[uint64][]Move{
+			0: {{Internal: true, Child: 1}, {Internal: true, Child: 2}},
+			1: {{Internal: true, Child: 2}},
+		},
+		preds: map[uint64][]uint64{
+			1: {0},
+			2: {0, 1},
+		},
+	}
+	if err := Validate(g); err != nil {
+		t.Fatalf("Validate rejected consistent game: %v", err)
+	}
+}
+
+func TestValidateRejectsInconsistencies(t *testing.T) {
+	cases := []*fakeGame{
+		{ // missing predecessor entry
+			name:  "missing-pred",
+			size:  2,
+			moves: map[uint64][]Move{0: {{Internal: true, Child: 1}}},
+			preds: map[uint64][]uint64{},
+		},
+		{ // phantom predecessor entry
+			name:  "phantom-pred",
+			size:  2,
+			moves: map[uint64][]Move{},
+			preds: map[uint64][]uint64{1: {0}},
+		},
+		{ // wrong multiplicity
+			name:  "multiplicity",
+			size:  2,
+			moves: map[uint64][]Move{0: {{Internal: true, Child: 1}, {Internal: true, Child: 1}}},
+			preds: map[uint64][]uint64{1: {0}},
+		},
+		{ // out-of-range child
+			name:  "range",
+			size:  2,
+			moves: map[uint64][]Move{0: {{Internal: true, Child: 7}}},
+			preds: map[uint64][]uint64{},
+		},
+		{ // resolved move without a value
+			name:  "novalue",
+			size:  1,
+			moves: map[uint64][]Move{0: {{Internal: false, Value: NoValue}}},
+			preds: map[uint64][]uint64{},
+		},
+		{ // predecessor index out of range
+			name:  "pred-range",
+			size:  2,
+			moves: map[uint64][]Move{},
+			preds: map[uint64][]uint64{1: {9}},
+		},
+	}
+	for _, g := range cases {
+		if err := Validate(g); err == nil {
+			t.Errorf("Validate accepted inconsistent game %q", g.name)
+		}
+	}
+}
+
+func TestValidateSampleConsistent(t *testing.T) {
+	g := &fakeGame{
+		name: "sample-ok",
+		size: 4,
+		moves: map[uint64][]Move{
+			0: {{Internal: true, Child: 1}, {Internal: true, Child: 2}},
+			1: {{Internal: true, Child: 3}},
+			2: {{Internal: true, Child: 3}},
+		},
+		preds: map[uint64][]uint64{
+			1: {0},
+			2: {0},
+			3: {1, 2},
+		},
+	}
+	if err := ValidateSample(g, []uint64{1, 3}); err != nil {
+		t.Errorf("consistent sample rejected: %v", err)
+	}
+	if err := ValidateSample(g, nil); err != nil {
+		t.Errorf("empty sample rejected: %v", err)
+	}
+}
+
+func TestValidateSampleRejects(t *testing.T) {
+	missing := &fakeGame{
+		name:  "sample-missing",
+		size:  2,
+		moves: map[uint64][]Move{0: {{Internal: true, Child: 1}}},
+		preds: map[uint64][]uint64{},
+	}
+	if err := ValidateSample(missing, []uint64{1}); err == nil {
+		t.Error("missing predecessor accepted")
+	}
+	phantom := &fakeGame{
+		name:  "sample-phantom",
+		size:  2,
+		moves: map[uint64][]Move{},
+		preds: map[uint64][]uint64{1: {0}},
+	}
+	if err := ValidateSample(phantom, []uint64{1}); err == nil {
+		t.Error("phantom predecessor accepted")
+	}
+	if err := ValidateSample(phantom, []uint64{7}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}

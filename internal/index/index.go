@@ -1,0 +1,229 @@
+// Package index provides combinatorial ranking and unranking of game
+// positions onto dense integer intervals.
+//
+// Retrograde analysis stores one database entry per position, so every
+// position must map to a unique index in [0, Size) with no holes. For
+// awari-style games a position is "n stones distributed over k pits",
+// i.e. a weak composition of n into k parts; this package implements a
+// colexicographic bijection between such compositions and the interval
+// [0, C(n+k-1, k-1)).
+//
+// The bijection is the classic combinatorial number system: scanning pits
+// from last to first, a position's rank is the number of compositions that
+// are colexicographically smaller. Both directions run in O(k) table
+// lookups after a one-time binomial table build.
+package index
+
+import "fmt"
+
+// MaxStones is the largest total stone count supported by the prebuilt
+// binomial tables. Awari uses at most 48 stones; we leave headroom.
+const MaxStones = 64
+
+// MaxPits is the largest number of pits supported. Awari has 12.
+const MaxPits = 16
+
+// binom[n][k] = C(n, k) for 0 <= n <= MaxStones+MaxPits, 0 <= k <= MaxPits.
+// The table is immutable after package initialisation.
+var binom [MaxStones + MaxPits + 1][MaxPits + 1]uint64
+
+func init() {
+	for n := 0; n <= MaxStones+MaxPits; n++ {
+		binom[n][0] = 1
+		for k := 1; k <= MaxPits && k <= n; k++ {
+			binom[n][k] = binom[n-1][k-1] + binom[n-1][k]
+		}
+	}
+}
+
+// Binomial returns C(n, k). It panics if the arguments fall outside the
+// prebuilt table, which callers avoid by respecting MaxStones and MaxPits.
+func Binomial(n, k int) uint64 {
+	if n < 0 || k < 0 || n > MaxStones+MaxPits || k > MaxPits {
+		panic(fmt.Sprintf("index: Binomial(%d, %d) out of table range", n, k))
+	}
+	if k > n {
+		return 0
+	}
+	return binom[n][k]
+}
+
+// Space is a rank/unrank codec for all distributions of exactly Stones
+// stones over Pits pits.
+type Space struct {
+	Pits   int
+	Stones int
+	size   uint64
+}
+
+// NewSpace returns the codec for distributions of stones over pits.
+func NewSpace(pits, stones int) (*Space, error) {
+	if pits < 1 || pits > MaxPits {
+		return nil, fmt.Errorf("index: pits %d out of range [1, %d]", pits, MaxPits)
+	}
+	if stones < 0 || stones > MaxStones {
+		return nil, fmt.Errorf("index: stones %d out of range [0, %d]", stones, MaxStones)
+	}
+	return &Space{
+		Pits:   pits,
+		Stones: stones,
+		size:   Binomial(stones+pits-1, pits-1),
+	}, nil
+}
+
+// MustSpace is NewSpace for statically known-valid arguments.
+func MustSpace(pits, stones int) *Space {
+	s, err := NewSpace(pits, stones)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Size returns the number of distinct distributions, C(stones+pits-1, pits-1).
+func (s *Space) Size() uint64 { return s.size }
+
+// Rank maps a distribution to its index in [0, Size). The slice must have
+// exactly Pits non-negative entries summing to Stones; Rank panics
+// otherwise (an internal invariant violation, not a user input error).
+//
+// The encoding: process pits from index Pits-1 down to 1; with rem stones
+// still unplaced before pit i is read, placing c stones in pit i skips
+// C(rem - c + i - 1, i) ... accumulated via the standard "stars and bars
+// prefix count" identity sum_{j<c} C(rem-j+i-1, i-1) =
+// C(rem+i, i) - C(rem-c+i, i).
+func (s *Space) Rank(pits []int) uint64 {
+	if len(pits) != s.Pits {
+		panic(fmt.Sprintf("index: Rank got %d pits, space has %d", len(pits), s.Pits))
+	}
+	var r uint64
+	rem := s.Stones
+	for i := s.Pits - 1; i >= 1; i-- {
+		c := pits[i]
+		if c < 0 || c > rem {
+			panic(fmt.Sprintf("index: Rank pit %d holds %d with %d remaining", i, c, rem))
+		}
+		// Number of distributions of rem stones over pits 0..i that put
+		// fewer than c stones in pit i: C(rem+i, i) - C(rem-c+i, i).
+		r += Binomial(rem+i, i) - Binomial(rem-c+i, i)
+		rem -= c
+	}
+	if pits[0] != rem {
+		panic(fmt.Sprintf("index: Rank pits sum mismatch, pit 0 holds %d, expected %d", pits[0], rem))
+	}
+	return r
+}
+
+// Unrank writes the distribution with the given rank into dst, which must
+// have length Pits. It panics if r >= Size.
+func (s *Space) Unrank(r uint64, dst []int) {
+	if len(dst) != s.Pits {
+		panic(fmt.Sprintf("index: Unrank got %d pits, space has %d", len(dst), s.Pits))
+	}
+	if r >= s.size {
+		panic(fmt.Sprintf("index: Unrank rank %d out of range [0, %d)", r, s.size))
+	}
+	rem := s.Stones
+	for i := s.Pits - 1; i >= 1; i-- {
+		// Find the smallest c with C(rem+i, i) - C(rem-c+i, i) > r,
+		// i.e. the pit count whose prefix block contains r.
+		base := Binomial(rem+i, i)
+		c := 0
+		for base-Binomial(rem-c-1+i, i) <= r {
+			c++
+		}
+		r -= base - Binomial(rem-c+i, i)
+		dst[i] = c
+		rem -= c
+	}
+	dst[0] = rem
+}
+
+// CumulativeSpace ranks distributions of *at most* Stones stones: all
+// smaller totals first, ordered by total, then by Space rank within a
+// total. Retrograde analysis for awari builds one Space at a time, but
+// tools that address a whole family of databases (for example a file
+// holding databases for totals 0..n) use the cumulative index.
+type CumulativeSpace struct {
+	Pits   int
+	Stones int
+	// offset[t] is the index of the first distribution with total t.
+	offset []uint64
+	spaces []*Space
+}
+
+// NewCumulativeSpace returns the codec covering totals 0..stones.
+func NewCumulativeSpace(pits, stones int) (*CumulativeSpace, error) {
+	if pits < 1 || pits > MaxPits {
+		return nil, fmt.Errorf("index: pits %d out of range [1, %d]", pits, MaxPits)
+	}
+	if stones < 0 || stones > MaxStones {
+		return nil, fmt.Errorf("index: stones %d out of range [0, %d]", stones, MaxStones)
+	}
+	cs := &CumulativeSpace{
+		Pits:   pits,
+		Stones: stones,
+		offset: make([]uint64, stones+2),
+		spaces: make([]*Space, stones+1),
+	}
+	var off uint64
+	for t := 0; t <= stones; t++ {
+		cs.offset[t] = off
+		cs.spaces[t] = MustSpace(pits, t)
+		off += cs.spaces[t].Size()
+	}
+	cs.offset[stones+1] = off
+	return cs, nil
+}
+
+// Size returns the total number of distributions with totals 0..Stones,
+// which equals C(Stones+Pits, Pits).
+func (cs *CumulativeSpace) Size() uint64 { return cs.offset[cs.Stones+1] }
+
+// Offset returns the index of the first distribution with the given total.
+func (cs *CumulativeSpace) Offset(total int) uint64 {
+	if total < 0 || total > cs.Stones {
+		panic(fmt.Sprintf("index: Offset total %d out of range [0, %d]", total, cs.Stones))
+	}
+	return cs.offset[total]
+}
+
+// Space returns the per-total codec for the given total.
+func (cs *CumulativeSpace) Space(total int) *Space {
+	if total < 0 || total > cs.Stones {
+		panic(fmt.Sprintf("index: Space total %d out of range [0, %d]", total, cs.Stones))
+	}
+	return cs.spaces[total]
+}
+
+// Rank maps a distribution (any total 0..Stones) to its cumulative index.
+func (cs *CumulativeSpace) Rank(pits []int) uint64 {
+	t := 0
+	for _, c := range pits {
+		t += c
+	}
+	if t > cs.Stones {
+		panic(fmt.Sprintf("index: CumulativeSpace.Rank total %d exceeds %d", t, cs.Stones))
+	}
+	return cs.offset[t] + cs.spaces[t].Rank(pits)
+}
+
+// Unrank writes the distribution with the given cumulative index into dst
+// and returns its total stone count.
+func (cs *CumulativeSpace) Unrank(r uint64, dst []int) int {
+	if r >= cs.Size() {
+		panic(fmt.Sprintf("index: CumulativeSpace.Unrank rank %d out of range [0, %d)", r, cs.Size()))
+	}
+	// Binary search over offsets for the total containing r.
+	lo, hi := 0, cs.Stones
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if cs.offset[mid] <= r {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	cs.spaces[lo].Unrank(r-cs.offset[lo], dst)
+	return lo
+}

@@ -1,0 +1,298 @@
+// Package kalah implements Kalah endgame databases as a game.Game —
+// a second mancala game beside awari, with a genuinely different rule
+// set: stones sown into the mover's store are banked immediately, a last
+// stone in the store grants an extra turn, and a last stone landing in an
+// empty own pit captures the opposite pit into the store.
+//
+// # Position model
+//
+// Like awari, the n-stone database holds every distribution of n stones
+// over the 12 pits (stores are not part of the position — banked stones
+// are score, not board). A "move" is a maximal sequence of sows by the
+// same player: every sow whose last stone lands in the store is followed
+// by another sow by the same player, so turns strictly alternate between
+// positions and the awari value algebra carries over unchanged — the
+// value is the number of stones (0..n) the player to move banks from the
+// board, with v(p) = max over moves of (n - v(child)).
+//
+// Each inner sow of a composed move banks at least the store stone, so
+// moves that bank nothing are single sows that stay inside the mover's
+// row. Those are the database-internal moves — and because they only
+// push stones toward the store end of the row, the internal graph is
+// acyclic: Kalah databases have no cycle positions at all, which the
+// tests assert (and exploit: a forward negamax oracle is exact).
+//
+// # Rules (standard Kalah, 6 pits per side)
+//
+// Pits 0..5 belong to the mover (store after pit 5), 6..11 to the
+// opponent (whose store is skipped). Sowing drops one stone per slot
+// counterclockwise: 0,1,...,5, own store, 6,...,11, back to 0. If the
+// last stone lands in the own store the mover moves again; if it lands
+// in an own pit that was empty and the opposite pit holds stones, both
+// that stone and the opposite pit are banked. A mover whose row is empty
+// cannot move: the opponent banks everything remaining.
+package kalah
+
+import (
+	"fmt"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/game"
+	"retrograde/internal/index"
+)
+
+// Pits is the number of board pits.
+const Pits = 12
+
+// RowSize is the number of pits per player.
+const RowSize = 6
+
+// MaxStones is the largest supported database total — the full standard
+// Kalah(6,4) board holds 48 stones.
+const MaxStones = 48
+
+// Board is a Kalah position from the mover's perspective: pits 0..5 are
+// the mover's (store after pit 5), 6..11 the opponent's.
+type Board = awari.Board
+
+// Space returns the position codec for boards holding exactly stones
+// stones (shared combinatorics with awari: same pits, same totals).
+func Space(stones int) *index.Space {
+	if stones < 0 || stones > MaxStones {
+		panic(fmt.Sprintf("kalah: no space for %d stones", stones))
+	}
+	return index.MustSpace(Pits, stones)
+}
+
+// Size returns the number of positions in the n-stone database.
+func Size(stones int) uint64 { return Space(stones).Size() }
+
+// sowResult is the outcome of one sow (one segment of a composed move).
+type sowResult struct {
+	board  Board
+	banked int  // stones that entered the mover's store (incl. capture)
+	again  bool // last stone landed in the store: mover goes again
+}
+
+// sow performs a single sow from the mover's pit from. It panics on an
+// empty or out-of-range pit.
+func sow(b Board, from int) sowResult {
+	if from < 0 || from >= RowSize {
+		panic(fmt.Sprintf("kalah: sow from pit %d outside mover's row", from))
+	}
+	s := int(b[from])
+	if s == 0 {
+		panic(fmt.Sprintf("kalah: sow from empty pit %d of %v", from, b))
+	}
+	b[from] = 0
+	banked := 0
+	// Slots: 0..5 own pits, 6 = own store, 7..12 = opponent pits 6..11.
+	// The opponent's store is skipped entirely.
+	slot := from
+	last := -1
+	for ; s > 0; s-- {
+		slot++
+		if slot > 12 {
+			slot = 0
+		}
+		if slot == 6 {
+			banked++
+		} else if slot < 6 {
+			b[slot]++
+		} else {
+			b[slot-1]++
+		}
+		last = slot
+	}
+	res := sowResult{board: b, banked: banked}
+	switch {
+	case last == 6:
+		res.again = true
+	case last < 6:
+		// Landed in an own pit: capture if it was empty (holds exactly
+		// one now) and the opposite pit has stones.
+		opposite := Pits - 1 - last // pit j faces opponent pit 11-j
+		if b[last] == 1 && b[opposite] > 0 {
+			res.banked += 1 + int(b[opposite])
+			res.board[last] = 0
+			res.board[opposite] = 0
+		}
+	}
+	return res
+}
+
+// Lookup resolves positions in smaller databases, as in awari.
+type Lookup func(stones int, idx uint64) game.Value
+
+// Slice is the n-stone Kalah database slice as a game.Game. Immutable
+// and safe for concurrent use.
+type Slice struct {
+	stones int
+	space  *index.Space
+	lookup Lookup
+}
+
+// NewSlice returns the n-stone slice. lookup resolves moves that bank
+// stones; it may be nil only for stones == 0 (any sow from a non-empty
+// row can reach the store or capture).
+func NewSlice(stones int, lookup Lookup) (*Slice, error) {
+	if stones < 0 || stones > MaxStones {
+		return nil, fmt.Errorf("kalah: stones %d out of range [0, %d]", stones, MaxStones)
+	}
+	if lookup == nil && stones > 0 {
+		return nil, fmt.Errorf("kalah: %d-stone slice needs a lookup for smaller databases", stones)
+	}
+	return &Slice{stones: stones, space: Space(stones), lookup: lookup}, nil
+}
+
+// MustSlice is NewSlice for statically known-valid arguments.
+func MustSlice(stones int, lookup Lookup) *Slice {
+	s, err := NewSlice(stones, lookup)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Stones returns the slice's stone total.
+func (s *Slice) Stones() int { return s.stones }
+
+// Name implements game.Game.
+func (s *Slice) Name() string { return fmt.Sprintf("kalah-%d", s.stones) }
+
+// Size implements game.Game.
+func (s *Slice) Size() uint64 { return s.space.Size() }
+
+// Board decodes a position index.
+func (s *Slice) Board(idx uint64) Board {
+	var pits [Pits]int
+	s.space.Unrank(idx, pits[:])
+	var b Board
+	for i, c := range pits {
+		b[i] = int8(c)
+	}
+	return b
+}
+
+// Index encodes a board of the slice's stone total.
+func (s *Slice) Index(b Board) uint64 {
+	var pits [Pits]int
+	for i, c := range b {
+		pits[i] = int(c)
+	}
+	return s.space.Rank(pits[:])
+}
+
+// Moves implements game.Game: one entry per completed composed move.
+func (s *Slice) Moves(idx uint64, buf []game.Move) []game.Move {
+	return s.expand(s.Board(idx), 0, buf)
+}
+
+// expand enumerates the completions of a (possibly continuing) move
+// sequence from board b with banked stones already in the store.
+func (s *Slice) expand(b Board, banked int, buf []game.Move) []game.Move {
+	for from := 0; from < RowSize; from++ {
+		if b[from] == 0 {
+			continue
+		}
+		r := sow(b, from)
+		total := banked + r.banked
+		if r.again {
+			if r.board.OwnStones() == 0 {
+				// Extra turn but no stones to sow: the game ends with
+				// the opponent banking the remainder.
+				buf = append(buf, game.Move{Value: game.Value(total)})
+				continue
+			}
+			buf = s.expand(r.board, total, buf)
+			continue
+		}
+		child := r.board.Swapped()
+		if total == 0 {
+			buf = append(buf, game.Move{Internal: true, Child: s.Index(child)})
+			continue
+		}
+		rest := s.stones - total
+		var pits [Pits]int
+		for i, c := range child {
+			pits[i] = int(c)
+		}
+		v := s.lookup(rest, Space(rest).Rank(pits[:]))
+		buf = append(buf, game.Move{Value: game.Value(s.stones) - v})
+	}
+	return buf
+}
+
+// TerminalValue implements game.Game: a mover with an empty row banks
+// nothing; the opponent collects the rest.
+func (s *Slice) TerminalValue(idx uint64) game.Value {
+	// Moves is empty only when the mover's row is empty.
+	return 0
+}
+
+// Predecessors implements game.Game. Internal moves bank nothing, so
+// they are single sows confined to the previous mover's row: from pit i
+// with c stones, pits i+1..i+c each gained one stone and pit i emptied.
+// Candidates are generated accordingly and verified forward.
+func (s *Slice) Predecessors(idx uint64, buf []uint64) []uint64 {
+	p := s.Board(idx)
+	r := p.Swapped() // previous mover's perspective
+	var moves [16]game.Move
+	for origin := 0; origin < RowSize; origin++ {
+		if r[origin] != 0 {
+			continue
+		}
+		for count := 1; count <= RowSize-1-origin; count++ {
+			ok := true
+			q := r
+			q[origin] = int8(count)
+			for j := origin + 1; j <= origin+count; j++ {
+				if q[j] == 0 {
+					ok = false
+					break
+				}
+				q[j]--
+			}
+			if !ok {
+				break
+			}
+			// Verify: q must have an internal move to p.
+			for _, m := range s.expand(q, 0, moves[:0]) {
+				if m.Internal && m.Child == idx {
+					buf = append(buf, s.Index(q))
+				}
+			}
+		}
+	}
+	return buf
+}
+
+// MoverValue implements game.Game.
+func (s *Slice) MoverValue(child game.Value) game.Value {
+	return game.Value(s.stones) - child
+}
+
+// Better implements game.Game.
+func (s *Slice) Better(a, b game.Value) bool {
+	if b == game.NoValue {
+		return a != game.NoValue
+	}
+	return a != game.NoValue && a > b
+}
+
+// Finalizes implements game.Game.
+func (s *Slice) Finalizes(v game.Value) bool { return int(v) == s.stones }
+
+// LoopValue implements game.Game. Kalah's internal graph is acyclic
+// (internal sows strictly shift stones toward the store end of the row),
+// so this is never reached during analysis.
+func (s *Slice) LoopValue(uint64) game.Value { return 0 }
+
+// ValueBits implements game.Game.
+func (s *Slice) ValueBits() int {
+	bits := 1
+	for 1<<bits <= s.stones {
+		bits++
+	}
+	return bits
+}

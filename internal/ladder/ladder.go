@@ -1,0 +1,155 @@
+// Package ladder builds families of awari endgame databases.
+//
+// The n-stone database consults every smaller database through capture
+// moves, so databases must be built in increasing order of n — the
+// "ladder". Each rung is an independent retrograde analysis (solved by any
+// ra.Engine); the finished rungs provide the lookup for the next one.
+// This mirrors the paper's methodology: the headline measurements are for
+// a single large rung, with all smaller rungs precomputed.
+package ladder
+
+import (
+	"fmt"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/game"
+	"retrograde/internal/ra"
+)
+
+// Config selects the rules and loop scoring of a ladder.
+type Config struct {
+	Rules awari.Rules
+	Loop  awari.LoopRule
+	// Refine applies ra.Refine to every rung after it is solved, so that
+	// cyclic positions are consistent with their best moves (see
+	// DESIGN.md). Higher rungs then consult the refined values.
+	Refine bool
+	// RefineSweeps bounds refinement sweeps per rung; <= 0 uses the
+	// ra.Refine default budget.
+	RefineSweeps int
+}
+
+// Ladder holds finished awari databases for stone totals 0..MaxStones().
+type Ladder struct {
+	cfg     Config
+	results []*ra.Result
+	refined []ra.RefineStats
+}
+
+// Build constructs databases for totals 0..maxStones, solving every rung
+// with engine. The per-rung results (including work statistics) are
+// retained. onRung, if non-nil, is called after each rung completes.
+func Build(cfg Config, maxStones int, engine ra.Engine, onRung func(stones int, r *ra.Result)) (*Ladder, error) {
+	if maxStones < 0 || maxStones > awari.MaxStones {
+		return nil, fmt.Errorf("ladder: maxStones %d out of range [0, %d]", maxStones, awari.MaxStones)
+	}
+	l := &Ladder{cfg: cfg, results: make([]*ra.Result, 0, maxStones+1)}
+	for n := 0; n <= maxStones; n++ {
+		r, err := l.SolveRung(n, engine)
+		if err != nil {
+			return nil, fmt.Errorf("ladder: rung %d: %w", n, err)
+		}
+		l.results = append(l.results, r)
+		if cfg.Refine {
+			st := ra.Refine(l.Slice(n), r, cfg.RefineSweeps)
+			if !st.Converged {
+				return nil, fmt.Errorf("ladder: rung %d: refinement did not converge within %d sweeps", n, st.Sweeps)
+			}
+			l.refined = append(l.refined, st)
+		}
+		if onRung != nil {
+			onRung(n, r)
+		}
+	}
+	return l, nil
+}
+
+// RefineStats returns the refinement statistics of a rung; the zero value
+// is returned when the ladder was built without refinement.
+func (l *Ladder) RefineStats(stones int) ra.RefineStats {
+	if stones >= len(l.refined) {
+		return ra.RefineStats{}
+	}
+	return l.refined[stones]
+}
+
+// SolveRung solves the n-stone database using the ladder's finished
+// smaller rungs, without storing the result in the ladder. All rungs
+// below n must already be present.
+func (l *Ladder) SolveRung(n int, engine ra.Engine) (*ra.Result, error) {
+	if n > len(l.results) {
+		return nil, fmt.Errorf("ladder: rung %d requires rungs 0..%d first", n, n-1)
+	}
+	slice, err := awari.NewSlice(l.cfg.Rules, l.cfg.Loop, n, l.Lookup)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Solve(slice)
+}
+
+// MaxStones returns the largest finished rung, or -1 for an empty ladder.
+func (l *Ladder) MaxStones() int { return len(l.results) - 1 }
+
+// Config returns the ladder's configuration.
+func (l *Ladder) Config() Config { return l.cfg }
+
+// Lookup returns the database value of position idx of the stones-stone
+// rung; it satisfies awari.Lookup.
+func (l *Ladder) Lookup(stones int, idx uint64) game.Value {
+	return l.results[stones].Values[idx]
+}
+
+// Result returns the finished analysis of one rung.
+func (l *Ladder) Result(stones int) *ra.Result { return l.results[stones] }
+
+// Slice returns the game.Game view of one finished (or the next unbuilt)
+// rung, wired to the ladder's lookup.
+func (l *Ladder) Slice(stones int) *awari.Slice {
+	return awari.MustSlice(l.cfg.Rules, l.cfg.Loop, stones, l.Lookup)
+}
+
+// BestMove returns the best move (pit number) and its value for the given
+// board, using the finished databases. ok is false for terminal positions.
+func (l *Ladder) BestMove(b awari.Board) (pit int, value game.Value, ok bool) {
+	n := b.Stones()
+	if n > l.MaxStones() {
+		panic(fmt.Sprintf("ladder: board has %d stones, ladder only reaches %d", n, l.MaxStones()))
+	}
+	slice := l.Slice(n)
+	var list [awari.RowSize]int
+	moves := l.cfg.Rules.MoveList(b, list[:0])
+	if len(moves) == 0 {
+		return 0, 0, false
+	}
+	best := game.NoValue
+	bestPit := -1
+	for _, from := range moves {
+		child, captured := l.cfg.Rules.Apply(b, from)
+		var mv game.Value
+		if captured == 0 {
+			mv = slice.MoverValue(l.Lookup(n, slice.Index(child)))
+		} else {
+			rest := n - captured
+			mv = game.Value(n) - l.Lookup(rest, awari.Space(rest).Rank(boardPits(child)))
+		}
+		if best == game.NoValue || slice.Better(mv, best) {
+			best, bestPit = mv, from
+		}
+	}
+	return bestPit, best, true
+}
+
+func boardPits(b awari.Board) []int {
+	pits := make([]int, awari.Pits)
+	for i, c := range b {
+		pits[i] = int(c)
+	}
+	return pits
+}
+
+// Value returns the database value of a board (any stone total within the
+// ladder).
+func (l *Ladder) Value(b awari.Board) game.Value {
+	n := b.Stones()
+	return l.Lookup(n, awari.Space(n).Rank(boardPits(b)))
+}

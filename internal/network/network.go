@@ -1,0 +1,242 @@
+// Package network models interconnects for the simulated cluster.
+//
+// The paper's platform was a 10 Mbit/s shared-medium Ethernet: every
+// message occupies the single bus for its transmission time, so many small
+// messages serialize behind each other and per-message cost dominates.
+// That property is what makes message combining essential, and the
+// Ethernet model here reproduces it. A switched crossbar model is
+// provided for ablations (what would the algorithm have seen on a network
+// without a shared medium?).
+package network
+
+import (
+	"fmt"
+
+	"retrograde/internal/sim"
+)
+
+// Broadcast is the destination id addressing every attached node but the
+// sender.
+const Broadcast = -1
+
+// Message is one network transmission. Payload is delivered by reference
+// — the simulation does not serialize it — while Bytes declares the size
+// charged on the wire.
+type Message struct {
+	From, To int
+	Payload  any
+	Bytes    int
+}
+
+// Stats aggregates traffic counters.
+type Stats struct {
+	Messages   uint64   // transmissions (a broadcast counts once)
+	Deliveries uint64   // handler invocations
+	Payload    uint64   // payload bytes
+	Wire       uint64   // bytes on the wire including framing
+	Busy       sim.Time // total time the medium was occupied
+	MaxQueue   int      // peak transmissions queued waiting for the medium
+}
+
+// Network is a message-passing interconnect bound to a simulation kernel.
+type Network interface {
+	// Attach registers node id's delivery handler. Handlers run as kernel
+	// events at message arrival time.
+	Attach(id int, deliver func(Message))
+	// Send transmits at the current virtual time. To may be Broadcast.
+	Send(m Message)
+	// Stats returns traffic counters accumulated so far.
+	Stats() Stats
+}
+
+// EthernetConfig parameterises the shared-bus model.
+type EthernetConfig struct {
+	// BitsPerSec is the raw medium bandwidth (paper era: 10 Mbit/s).
+	BitsPerSec int64
+	// Propagation is the wire latency added after transmission completes.
+	Propagation sim.Time
+	// FrameBytes is the per-frame overhead added to every payload.
+	FrameBytes int
+	// MinFrameBytes is the minimum wire size of any frame.
+	MinFrameBytes int
+}
+
+// DefaultEthernet is calibrated to the paper's platform: 10 Mbit/s shared
+// Ethernet with UDP-style framing.
+func DefaultEthernet() EthernetConfig {
+	return EthernetConfig{
+		BitsPerSec:    10_000_000,
+		Propagation:   10 * sim.Microsecond,
+		FrameBytes:    58, // Ethernet header/FCS/preamble/gap + IP + UDP
+		MinFrameBytes: 64,
+	}
+}
+
+func (c EthernetConfig) validate() error {
+	if c.BitsPerSec <= 0 {
+		return fmt.Errorf("network: bandwidth must be positive, got %d", c.BitsPerSec)
+	}
+	if c.Propagation < 0 {
+		return fmt.Errorf("network: negative propagation %v", c.Propagation)
+	}
+	if c.FrameBytes < 0 || c.MinFrameBytes < 0 {
+		return fmt.Errorf("network: negative frame sizes")
+	}
+	return nil
+}
+
+// txTime returns the medium occupancy of a payload of the given size.
+func (c EthernetConfig) txTime(payload int) (sim.Time, int) {
+	wire := payload + c.FrameBytes
+	if wire < c.MinFrameBytes {
+		wire = c.MinFrameBytes
+	}
+	return sim.Time(int64(wire) * 8 * int64(sim.Second) / c.BitsPerSec), wire
+}
+
+// Ethernet is the shared-bus network: one transmission at a time, FIFO.
+type Ethernet struct {
+	k        *sim.Kernel
+	cfg      EthernetConfig
+	handlers map[int]func(Message)
+	freeAt   sim.Time
+	queued   int
+	stats    Stats
+}
+
+// NewEthernet returns a shared-bus network on the kernel.
+func NewEthernet(k *sim.Kernel, cfg EthernetConfig) (*Ethernet, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Ethernet{k: k, cfg: cfg, handlers: make(map[int]func(Message))}, nil
+}
+
+// Attach implements Network.
+func (e *Ethernet) Attach(id int, deliver func(Message)) { e.handlers[id] = deliver }
+
+// Send implements Network. The transmission starts when the bus frees up
+// (FIFO among queued senders — an idealisation of CSMA/CD that keeps the
+// simulation deterministic) and is delivered Propagation after it ends.
+func (e *Ethernet) Send(m Message) {
+	tx, wire := e.cfg.txTime(m.Bytes)
+	start := e.k.Now()
+	if e.freeAt > start {
+		start = e.freeAt
+		e.queued++
+		if e.queued > e.stats.MaxQueue {
+			e.stats.MaxQueue = e.queued
+		}
+	}
+	end := start + tx
+	e.freeAt = end
+	e.stats.Messages++
+	e.stats.Payload += uint64(m.Bytes)
+	e.stats.Wire += uint64(wire)
+	e.stats.Busy += tx
+	if start > e.k.Now() {
+		e.k.At(start, func() { e.queued-- })
+	}
+	e.k.At(end+e.cfg.Propagation, func() { e.deliver(m) })
+}
+
+func (e *Ethernet) deliver(m Message) {
+	if m.To == Broadcast {
+		for id, h := range orderedHandlers(e.handlers) {
+			if id != m.From {
+				e.stats.Deliveries++
+				h(m)
+			}
+		}
+		return
+	}
+	h, ok := e.handlers[m.To]
+	if !ok {
+		panic(fmt.Sprintf("network: message to unattached node %d", m.To))
+	}
+	e.stats.Deliveries++
+	h(m)
+}
+
+// Stats implements Network.
+func (e *Ethernet) Stats() Stats { return e.stats }
+
+// orderedHandlers iterates handlers in ascending id order for determinism.
+func orderedHandlers(m map[int]func(Message)) func(yield func(int, func(Message)) bool) {
+	max := -1
+	for id := range m {
+		if id > max {
+			max = id
+		}
+	}
+	return func(yield func(int, func(Message)) bool) {
+		for id := 0; id <= max; id++ {
+			if h, ok := m[id]; ok {
+				if !yield(id, h) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Crossbar is a fully switched network: each source transmits
+// independently (serialized per source NIC), destinations receive without
+// contention. Broadcasts are modelled as one transmission per receiver.
+type Crossbar struct {
+	k        *sim.Kernel
+	cfg      EthernetConfig
+	handlers map[int]func(Message)
+	freeAt   map[int]sim.Time
+	stats    Stats
+}
+
+// NewCrossbar returns a switched network with per-link characteristics
+// taken from cfg (bandwidth is per source link).
+func NewCrossbar(k *sim.Kernel, cfg EthernetConfig) (*Crossbar, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Crossbar{k: k, cfg: cfg, handlers: make(map[int]func(Message)), freeAt: make(map[int]sim.Time)}, nil
+}
+
+// Attach implements Network.
+func (x *Crossbar) Attach(id int, deliver func(Message)) { x.handlers[id] = deliver }
+
+// Send implements Network.
+func (x *Crossbar) Send(m Message) {
+	if m.To == Broadcast {
+		for id := range orderedHandlers(x.handlers) {
+			if id != m.From {
+				x.sendOne(Message{From: m.From, To: id, Payload: m.Payload, Bytes: m.Bytes})
+			}
+		}
+		return
+	}
+	x.sendOne(m)
+}
+
+func (x *Crossbar) sendOne(m Message) {
+	tx, wire := x.cfg.txTime(m.Bytes)
+	start := x.k.Now()
+	if f := x.freeAt[m.From]; f > start {
+		start = f
+	}
+	end := start + tx
+	x.freeAt[m.From] = end
+	x.stats.Messages++
+	x.stats.Payload += uint64(m.Bytes)
+	x.stats.Wire += uint64(wire)
+	x.stats.Busy += tx
+	h, ok := x.handlers[m.To]
+	if !ok {
+		panic(fmt.Sprintf("network: message to unattached node %d", m.To))
+	}
+	x.k.At(end+x.cfg.Propagation, func() {
+		x.stats.Deliveries++
+		h(m)
+	})
+}
+
+// Stats implements Network.
+func (x *Crossbar) Stats() Stats { return x.stats }

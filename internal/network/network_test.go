@@ -1,0 +1,199 @@
+package network
+
+import (
+	"testing"
+
+	"retrograde/internal/sim"
+)
+
+// testCfg is a round-number configuration: 8 Mbit/s = 1 byte/us, no
+// framing, so a B-byte message occupies the bus for exactly B us.
+func testCfg() EthernetConfig {
+	return EthernetConfig{
+		BitsPerSec:    8_000_000,
+		Propagation:   5 * sim.Microsecond,
+		FrameBytes:    0,
+		MinFrameBytes: 0,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	k := sim.New()
+	bad := []EthernetConfig{
+		{BitsPerSec: 0},
+		{BitsPerSec: 10, Propagation: -1},
+		{BitsPerSec: 10, FrameBytes: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewEthernet(k, cfg); err == nil {
+			t.Errorf("NewEthernet(%+v) succeeded", cfg)
+		}
+		if _, err := NewCrossbar(k, cfg); err == nil {
+			t.Errorf("NewCrossbar(%+v) succeeded", cfg)
+		}
+	}
+}
+
+func TestDefaultEthernetIsPaperEra(t *testing.T) {
+	cfg := DefaultEthernet()
+	if cfg.BitsPerSec != 10_000_000 {
+		t.Errorf("default bandwidth %d, want 10 Mbit/s", cfg.BitsPerSec)
+	}
+	// A minimum-size frame occupies the 10 Mbit/s bus for 51.2 us.
+	tx, wire := cfg.txTime(1)
+	if wire != 64 {
+		t.Errorf("1-byte payload wire size %d, want 64", wire)
+	}
+	if tx != sim.Time(64*8*100) { // 64*8 bits at 100ns/bit
+		t.Errorf("1-byte payload tx time %v", tx)
+	}
+}
+
+func TestPointToPointDelivery(t *testing.T) {
+	k := sim.New()
+	e, err := NewEthernet(k, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	var at sim.Time
+	e.Attach(1, func(m Message) { got = m; at = k.Now() })
+	e.Attach(0, func(Message) { t.Error("sender received its own message") })
+	k.At(0, func() { e.Send(Message{From: 0, To: 1, Payload: "hi", Bytes: 100}) })
+	k.Run()
+	if got.Payload != "hi" || got.From != 0 {
+		t.Fatalf("got %+v", got)
+	}
+	// 100 bytes at 1 byte/us + 5us propagation.
+	if want := 105 * sim.Microsecond; at != want {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestBusSerializesTransmissions(t *testing.T) {
+	k := sim.New()
+	e, _ := NewEthernet(k, testCfg())
+	var arrivals []sim.Time
+	e.Attach(1, func(Message) { arrivals = append(arrivals, k.Now()) })
+	k.At(0, func() {
+		// Two senders transmit simultaneously: the second waits for the bus.
+		e.Send(Message{From: 0, To: 1, Bytes: 100})
+		e.Send(Message{From: 2, To: 1, Bytes: 100})
+	})
+	k.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[0] != 105*sim.Microsecond || arrivals[1] != 205*sim.Microsecond {
+		t.Errorf("arrivals = %v, want [105us 205us]", arrivals)
+	}
+	s := e.Stats()
+	if s.Messages != 2 || s.Payload != 200 || s.Busy != 200*sim.Microsecond {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MaxQueue != 1 {
+		t.Errorf("MaxQueue = %d, want 1", s.MaxQueue)
+	}
+}
+
+func TestCrossbarDoesNotSerializeAcrossSources(t *testing.T) {
+	k := sim.New()
+	x, _ := NewCrossbar(k, testCfg())
+	var arrivals []sim.Time
+	x.Attach(1, func(Message) { arrivals = append(arrivals, k.Now()) })
+	x.Attach(2, func(Message) { arrivals = append(arrivals, k.Now()) })
+	k.At(0, func() {
+		x.Send(Message{From: 0, To: 1, Bytes: 100})
+		x.Send(Message{From: 3, To: 2, Bytes: 100}) // different source: parallel
+		x.Send(Message{From: 0, To: 2, Bytes: 100}) // same source: serialized
+	})
+	k.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[0] != 105*sim.Microsecond || arrivals[1] != 105*sim.Microsecond {
+		t.Errorf("parallel arrivals = %v", arrivals[:2])
+	}
+	if arrivals[2] != 205*sim.Microsecond {
+		t.Errorf("serialized arrival = %v, want 205us", arrivals[2])
+	}
+}
+
+func TestEthernetBroadcast(t *testing.T) {
+	k := sim.New()
+	e, _ := NewEthernet(k, testCfg())
+	received := map[int]bool{}
+	for id := 0; id < 4; id++ {
+		id := id
+		e.Attach(id, func(Message) { received[id] = true })
+	}
+	k.At(0, func() { e.Send(Message{From: 2, To: Broadcast, Bytes: 10}) })
+	k.Run()
+	if received[2] {
+		t.Error("broadcast delivered to its sender")
+	}
+	for _, id := range []int{0, 1, 3} {
+		if !received[id] {
+			t.Errorf("node %d missed the broadcast", id)
+		}
+	}
+	// One transmission on the bus, three deliveries.
+	s := e.Stats()
+	if s.Messages != 1 || s.Deliveries != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCrossbarBroadcastIsPerReceiver(t *testing.T) {
+	k := sim.New()
+	x, _ := NewCrossbar(k, testCfg())
+	count := 0
+	for id := 0; id < 4; id++ {
+		x.Attach(id, func(Message) { count++ })
+	}
+	k.At(0, func() { x.Send(Message{From: 0, To: Broadcast, Bytes: 10}) })
+	k.Run()
+	if count != 3 {
+		t.Errorf("deliveries = %d, want 3", count)
+	}
+	if s := x.Stats(); s.Messages != 3 {
+		t.Errorf("crossbar broadcast used %d transmissions, want 3", s.Messages)
+	}
+}
+
+func TestUnattachedDestinationPanics(t *testing.T) {
+	k := sim.New()
+	e, _ := NewEthernet(k, testCfg())
+	e.Attach(0, func(Message) {})
+	k.At(0, func() { e.Send(Message{From: 0, To: 9, Bytes: 1}) })
+	defer func() {
+		if recover() == nil {
+			t.Error("delivery to unattached node did not panic")
+		}
+	}()
+	k.Run()
+}
+
+// TestSmallMessagesWasteTheBus quantifies the phenomenon the paper's
+// message combining attacks: sending N bytes as N tiny messages occupies
+// the bus far longer than one combined message, because of minimum frame
+// sizes and per-frame overhead.
+func TestSmallMessagesWasteTheBus(t *testing.T) {
+	run := func(messages, bytesEach int) sim.Time {
+		k := sim.New()
+		e, _ := NewEthernet(k, DefaultEthernet())
+		e.Attach(1, func(Message) {})
+		k.At(0, func() {
+			for i := 0; i < messages; i++ {
+				e.Send(Message{From: 0, To: 1, Bytes: bytesEach})
+			}
+		})
+		k.Run()
+		return e.Stats().Busy
+	}
+	tiny := run(1000, 10)     // 1000 updates sent individually
+	combined := run(1, 10000) // the same updates in one message
+	if tiny < 5*combined {
+		t.Errorf("combining saves too little on the modelled bus: %v vs %v", tiny, combined)
+	}
+}

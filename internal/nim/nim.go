@@ -1,0 +1,158 @@
+// Package nim implements normal-play Nim as a game.Game.
+//
+// Nim serves as a validation oracle for the retrograde-analysis engines:
+// the game-theoretic outcome of every Nim position is known in closed form
+// (the player to move wins iff the xor of the heap sizes is non-zero), so
+// a database computed by retrograde analysis can be checked exhaustively
+// against theory. Nim's position graph is acyclic and entirely internal
+// (no capture-style exits), exercising the counter-based propagation path
+// of the engines.
+package nim
+
+import (
+	"fmt"
+
+	"retrograde/internal/game"
+)
+
+// Game is Nim with a fixed number of heaps, each holding 0..MaxHeap
+// stones. Positions are the mixed-radix encodings of the heap vector:
+// index = sum_i heap[i] * (MaxHeap+1)^i. Immutable and safe for
+// concurrent use.
+type Game struct {
+	heaps   int
+	maxHeap int
+	size    uint64
+}
+
+// New returns Nim with the given number of heaps of capacity maxHeap.
+func New(heaps, maxHeap int) (*Game, error) {
+	if heaps < 1 || maxHeap < 1 {
+		return nil, fmt.Errorf("nim: need at least 1 heap of capacity 1, got %d heaps of %d", heaps, maxHeap)
+	}
+	size := uint64(1)
+	for i := 0; i < heaps; i++ {
+		next := size * uint64(maxHeap+1)
+		if next/uint64(maxHeap+1) != size || next > 1<<40 {
+			return nil, fmt.Errorf("nim: %d heaps of capacity %d overflow the index space", heaps, maxHeap)
+		}
+		size = next
+	}
+	return &Game{heaps: heaps, maxHeap: maxHeap, size: size}, nil
+}
+
+// MustNew is New for statically known-valid arguments.
+func MustNew(heaps, maxHeap int) *Game {
+	g, err := New(heaps, maxHeap)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Heaps decodes idx into a heap vector.
+func (g *Game) Heaps(idx uint64) []int {
+	h := make([]int, g.heaps)
+	base := uint64(g.maxHeap + 1)
+	for i := 0; i < g.heaps; i++ {
+		h[i] = int(idx % base)
+		idx /= base
+	}
+	return h
+}
+
+// Index encodes a heap vector.
+func (g *Game) Index(heaps []int) uint64 {
+	if len(heaps) != g.heaps {
+		panic(fmt.Sprintf("nim: Index got %d heaps, game has %d", len(heaps), g.heaps))
+	}
+	base := uint64(g.maxHeap + 1)
+	var idx uint64
+	for i := g.heaps - 1; i >= 0; i-- {
+		if heaps[i] < 0 || heaps[i] > g.maxHeap {
+			panic(fmt.Sprintf("nim: heap %d holds %d, capacity %d", i, heaps[i], g.maxHeap))
+		}
+		idx = idx*base + uint64(heaps[i])
+	}
+	return idx
+}
+
+// Name implements game.Game.
+func (g *Game) Name() string { return fmt.Sprintf("nim-%dx%d", g.heaps, g.maxHeap) }
+
+// Size implements game.Game.
+func (g *Game) Size() uint64 { return g.size }
+
+// Moves implements game.Game: remove one or more stones from one heap.
+func (g *Game) Moves(idx uint64, buf []game.Move) []game.Move {
+	base := uint64(g.maxHeap + 1)
+	weight := uint64(1)
+	rest := idx
+	for i := 0; i < g.heaps; i++ {
+		c := rest % base
+		for take := uint64(1); take <= c; take++ {
+			buf = append(buf, game.Move{Internal: true, Child: idx - take*weight})
+		}
+		rest /= base
+		weight *= base
+	}
+	return buf
+}
+
+// TerminalValue implements game.Game: the player facing empty heaps has
+// no move and loses (normal play).
+func (g *Game) TerminalValue(uint64) game.Value { return game.Loss(0) }
+
+// Predecessors implements game.Game: grow one heap to any larger size.
+func (g *Game) Predecessors(idx uint64, buf []uint64) []uint64 {
+	base := uint64(g.maxHeap + 1)
+	weight := uint64(1)
+	rest := idx
+	for i := 0; i < g.heaps; i++ {
+		c := rest % base
+		for add := uint64(1); c+add <= uint64(g.maxHeap); add++ {
+			buf = append(buf, idx+add*weight)
+		}
+		rest /= base
+		weight *= base
+	}
+	return buf
+}
+
+// MoverValue implements game.Game.
+func (g *Game) MoverValue(child game.Value) game.Value { return game.WDLNegate(child) }
+
+// Better implements game.Game.
+func (g *Game) Better(a, b game.Value) bool {
+	if b == game.NoValue {
+		return a != game.NoValue
+	}
+	return a != game.NoValue && game.WDLBetter(a, b)
+}
+
+// Finalizes implements game.Game: a win cannot be improved (the level-
+// synchronous engines deliver wins in increasing depth order, so the
+// first win seen has minimal depth).
+func (g *Game) Finalizes(v game.Value) bool { return game.WDLOutcome(v) == game.OutcomeWin }
+
+// LoopValue implements game.Game. Nim is acyclic, so this is never
+// reached during analysis; it exists to satisfy the interface.
+func (g *Game) LoopValue(uint64) game.Value { return game.Draw }
+
+// ValueBits implements game.Game.
+func (g *Game) ValueBits() int { return 16 }
+
+// TheoryOutcome returns the closed-form game-theoretic outcome of idx:
+// a win for the player to move iff the xor of the heap sizes is non-zero.
+func (g *Game) TheoryOutcome(idx uint64) game.Outcome {
+	base := uint64(g.maxHeap + 1)
+	x := uint64(0)
+	for i := 0; i < g.heaps; i++ {
+		x ^= idx % base
+		idx /= base
+	}
+	if x != 0 {
+		return game.OutcomeWin
+	}
+	return game.OutcomeLoss
+}

@@ -1,0 +1,167 @@
+package nim
+
+import (
+	"testing"
+
+	"retrograde/internal/game"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, hm := range [][2]int{{0, 3}, {3, 0}, {-1, 3}, {64, 1 << 20}} {
+		if _, err := New(hm[0], hm[1]); err == nil {
+			t.Errorf("New(%d, %d) succeeded, want error", hm[0], hm[1])
+		}
+	}
+	g, err := New(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 512 {
+		t.Errorf("Size() = %d, want 512", g.Size())
+	}
+	if g.Name() != "nim-3x7" {
+		t.Errorf("Name() = %q", g.Name())
+	}
+}
+
+func TestHeapsIndexRoundTrip(t *testing.T) {
+	g := MustNew(4, 5)
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		h := g.Heaps(idx)
+		for _, c := range h {
+			if c < 0 || c > 5 {
+				t.Fatalf("Heaps(%d) = %v out of range", idx, h)
+			}
+		}
+		if back := g.Index(h); back != idx {
+			t.Fatalf("Index(Heaps(%d)) = %d", idx, back)
+		}
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	g := MustNew(2, 3)
+	for _, h := range [][]int{{1}, {1, 2, 3}, {4, 0}, {-1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Index(%v) did not panic", h)
+				}
+			}()
+			g.Index(h)
+		}()
+	}
+}
+
+func TestMovesEnumeration(t *testing.T) {
+	g := MustNew(2, 3)
+	// Heaps (2, 1): moves are take 1-2 from heap 0, take 1 from heap 1.
+	idx := g.Index([]int{2, 1})
+	moves := g.Moves(idx, nil)
+	want := map[uint64]bool{
+		g.Index([]int{1, 1}): true,
+		g.Index([]int{0, 1}): true,
+		g.Index([]int{2, 0}): true,
+	}
+	if len(moves) != len(want) {
+		t.Fatalf("got %d moves, want %d", len(moves), len(want))
+	}
+	for _, m := range moves {
+		if !m.Internal {
+			t.Fatal("nim move not internal")
+		}
+		if !want[m.Child] {
+			t.Errorf("unexpected child %v", g.Heaps(m.Child))
+		}
+	}
+	if len(g.Moves(g.Index([]int{0, 0}), nil)) != 0 {
+		t.Error("terminal position has moves")
+	}
+}
+
+func TestTerminalValue(t *testing.T) {
+	g := MustNew(2, 3)
+	if v := g.TerminalValue(0); game.WDLOutcome(v) != game.OutcomeLoss || game.WDLDepth(v) != 0 {
+		t.Errorf("TerminalValue = %s, want loss in 0", game.WDLString(v))
+	}
+}
+
+// TestValidate checks move/predecessor inversion exhaustively.
+func TestValidate(t *testing.T) {
+	for _, hm := range [][2]int{{1, 6}, {2, 4}, {3, 3}} {
+		g := MustNew(hm[0], hm[1])
+		if err := game.Validate(g); err != nil {
+			t.Errorf("nim %dx%d: %v", hm[0], hm[1], err)
+		}
+	}
+}
+
+func TestTheoryOutcome(t *testing.T) {
+	g := MustNew(3, 7)
+	cases := []struct {
+		heaps []int
+		want  game.Outcome
+	}{
+		{[]int{0, 0, 0}, game.OutcomeLoss},
+		{[]int{1, 0, 0}, game.OutcomeWin},
+		{[]int{1, 1, 0}, game.OutcomeLoss},
+		{[]int{1, 2, 3}, game.OutcomeLoss},
+		{[]int{2, 3, 4}, game.OutcomeWin},
+		{[]int{7, 7, 0}, game.OutcomeLoss},
+		{[]int{5, 6, 7}, game.OutcomeWin},
+	}
+	for _, c := range cases {
+		if got := g.TheoryOutcome(g.Index(c.heaps)); got != c.want {
+			t.Errorf("TheoryOutcome(%v) = %v, want %v", c.heaps, got, c.want)
+		}
+	}
+}
+
+// TestTheoryIsSelfConsistent cross-checks the xor oracle against the
+// inductive definition of Nim outcomes via forward search.
+func TestTheoryIsSelfConsistent(t *testing.T) {
+	g := MustNew(3, 4)
+	memo := make([]int8, g.Size()) // 0 unknown, 1 win, 2 loss
+	var solve func(idx uint64) bool
+	solve = func(idx uint64) bool {
+		if memo[idx] != 0 {
+			return memo[idx] == 1
+		}
+		win := false
+		for _, m := range g.Moves(idx, nil) {
+			if !solve(m.Child) {
+				win = true
+				break
+			}
+		}
+		if win {
+			memo[idx] = 1
+		} else {
+			memo[idx] = 2
+		}
+		return win
+	}
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		want := game.OutcomeLoss
+		if solve(idx) {
+			want = game.OutcomeWin
+		}
+		if got := g.TheoryOutcome(idx); got != want {
+			t.Fatalf("position %v: theory %v, search %v", g.Heaps(idx), got, want)
+		}
+	}
+}
+
+func TestBetterHandlesNoValue(t *testing.T) {
+	g := MustNew(1, 1)
+	if !g.Better(game.Draw, game.NoValue) || g.Better(game.NoValue, game.Draw) {
+		t.Error("Better mishandles NoValue")
+	}
+}
+
+func TestFinalizes(t *testing.T) {
+	g := MustNew(1, 1)
+	if !g.Finalizes(game.Win(3)) || g.Finalizes(game.Draw) || g.Finalizes(game.Loss(2)) {
+		t.Error("Finalizes should hold exactly for wins")
+	}
+}

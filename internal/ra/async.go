@@ -1,0 +1,442 @@
+package ra
+
+import (
+	"fmt"
+
+	"retrograde/internal/cluster"
+	"retrograde/internal/combine"
+	"retrograde/internal/game"
+	"retrograde/internal/network"
+	"retrograde/internal/sim"
+)
+
+// AsyncDistributed is the asynchronous variant of the distributed engine:
+// no waves, no barriers — every node expands its queue continuously,
+// applies updates as they arrive, and global quiescence is detected with
+// Safra's token-ring termination algorithm. Loop resolution follows as a
+// coordinated epilogue.
+//
+// Asynchrony changes when updates are applied, not what they contain, so
+// for order-insensitive value semantics (awari's capture counts — any
+// game whose Better/Finalizes depend only on the value) the resulting
+// database is bit-identical to the synchronous engines'. WDL games
+// encode distance-to-end inside the value, and distances are only exact
+// under level-synchronous propagation: outcomes still agree, depths may
+// not. The test suite asserts exactly that split.
+type AsyncDistributed struct {
+	// Workers is the number of cluster nodes; 0 means 8.
+	Workers int
+	// Combine is the combining-buffer capacity; 0 means 100.
+	Combine int
+	// Group is the block-cyclic partition group size; 0 means 1.
+	Group uint64
+	// Chunk is how many positions a node expands per scheduling quantum;
+	// 0 means 64. Smaller chunks interleave communication sooner.
+	Chunk int
+	// Network selects the interconnect model.
+	Network NetworkKind
+	// NetConfig, Cost, Compute override the models as in Distributed.
+	NetConfig network.EthernetConfig
+	Cost      *cluster.CostModel
+	Compute   *ComputeCosts
+}
+
+func (d AsyncDistributed) workers() int {
+	if d.Workers > 0 {
+		return d.Workers
+	}
+	return 8
+}
+
+func (d AsyncDistributed) combineSize() int {
+	if d.Combine > 0 {
+		return d.Combine
+	}
+	return 100
+}
+
+func (d AsyncDistributed) group() uint64 {
+	if d.Group > 0 {
+		return d.Group
+	}
+	return 1
+}
+
+func (d AsyncDistributed) chunk() int {
+	if d.Chunk > 0 {
+		return d.Chunk
+	}
+	return 64
+}
+
+// Name implements Engine.
+func (d AsyncDistributed) Name() string {
+	return fmt.Sprintf("async(p=%d,combine=%d)", d.workers(), d.combineSize())
+}
+
+// Async protocol payloads (in addition to batchMsg/goMsg/doneMsg,
+// reused from the synchronous engine with wave == 0).
+type (
+	// tokenMsg is Safra's probe token.
+	tokenMsg struct {
+		count int64
+		black bool
+	}
+)
+
+const tokenMsgBytes = 16
+
+// Solve implements Engine.
+func (d AsyncDistributed) Solve(g game.Game) (*Result, error) {
+	r, _, err := d.SolveDetailed(g)
+	return r, err
+}
+
+// SolveDetailed runs the asynchronous analysis and returns the simulation
+// report. The report's ProtocolMessages counts token passes and the
+// loop-phase coordination.
+func (d AsyncDistributed) SolveDetailed(g game.Game) (*Result, *SimReport, error) {
+	p := d.workers()
+	part, err := NewPartition(g.Size(), p, d.group())
+	if err != nil {
+		return nil, nil, err
+	}
+	kernel := sim.New()
+	netCfg := d.NetConfig
+	if netCfg.BitsPerSec == 0 {
+		netCfg = network.DefaultEthernet()
+	}
+	var net network.Network
+	switch d.Network {
+	case CrossbarNet:
+		net, err = network.NewCrossbar(kernel, netCfg)
+	default:
+		net, err = network.NewEthernet(kernel, netCfg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	cost := DefaultMessageCost()
+	if d.Cost != nil {
+		cost = *d.Cost
+	}
+	comp := DefaultComputeCosts()
+	if d.Compute != nil {
+		comp = *d.Compute
+	}
+	clu, err := cluster.New(kernel, net, cost, p)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	run := &asyncRun{
+		g:       g,
+		part:    part,
+		clu:     clu,
+		comp:    comp,
+		combine: d.combineSize(),
+		chunk:   d.chunk(),
+		nodes:   make([]*asyncNode, p),
+	}
+	for i := 0; i < p; i++ {
+		run.nodes[i] = newAsyncNode(run, i)
+	}
+	for _, n := range run.nodes {
+		n.start()
+	}
+	duration := clu.Run()
+	if !run.finished {
+		return nil, nil, fmt.Errorf("ra: async run over %q stalled before completion", g.Name())
+	}
+	for i := 0; i < p; i++ {
+		if bu := clu.Node(i).BusyUntil(); bu > duration {
+			duration = bu
+		}
+	}
+
+	values := make([]game.Value, g.Size())
+	loopBits := make([]uint64, (g.Size()+63)/64)
+	stats := make([]WorkerStats, p)
+	var loops uint64
+	var comb combine.Stats
+	nodeStats := make([]cluster.NodeStats, p)
+	var localU, remoteU uint64
+	for i, n := range run.nodes {
+		n.w.Fill(values)
+		n.w.FillLoop(loopBits)
+		stats[i] = n.w.Stats
+		loops += n.w.Stats.LoopResolved
+		cs := n.buf.Stats()
+		comb.Items += cs.Items
+		comb.Flushes += cs.Flushes
+		comb.FullFlushes += cs.FullFlushes
+		comb.ForcedFlushes += cs.ForcedFlushes
+		if cs.MaxBatch > comb.MaxBatch {
+			comb.MaxBatch = cs.MaxBatch
+		}
+		nodeStats[i] = clu.Node(i).Stats()
+		localU += n.localUpdates
+		remoteU += n.remoteUpdates
+	}
+	report := &SimReport{
+		Duration:         duration,
+		Net:              net.Stats(),
+		Nodes:            nodeStats,
+		Combining:        comb,
+		DataMessages:     net.Stats().Messages - run.protocolMsgs,
+		ProtocolMessages: run.protocolMsgs,
+		LocalUpdates:     localU,
+		RemoteUpdates:    remoteU,
+		Events:           kernel.Events(),
+	}
+	result := &Result{
+		Values:        values,
+		Waves:         run.probes, // for async runs: Safra probe rounds
+		LoopPositions: loops,
+		Loop:          loopBits,
+		Workers:       stats,
+		Sim:           report,
+	}
+	return result, report, nil
+}
+
+type asyncRun struct {
+	g       game.Game
+	part    *Partition
+	clu     *cluster.Cluster
+	comp    ComputeCosts
+	combine int
+	chunk   int
+	nodes   []*asyncNode
+
+	probes       int // Safra probe rounds completed
+	protocolMsgs uint64
+	dones        int
+	finished     bool
+	inEpilogue   bool
+}
+
+// asyncNode is one processor of the asynchronous engine, implementing
+// Safra's algorithm: a message counter (sent-received), a color (black
+// after receiving a message), and a circulating token.
+type asyncNode struct {
+	run  *asyncRun
+	node *cluster.Node
+	w    *Worker
+	buf  *combine.Buffer[Update]
+
+	scheduled bool // a work quantum is pending
+	counter   int64
+	black     bool
+	hasToken  bool
+	token     tokenMsg
+
+	localUpdates  uint64
+	remoteUpdates uint64
+}
+
+func newAsyncNode(run *asyncRun, id int) *asyncNode {
+	n := &asyncNode{
+		run:  run,
+		node: run.clu.Node(id),
+		w:    NewWorker(run.g, run.part, id),
+	}
+	n.buf = combine.MustNew(len(run.nodes), run.combine, func(dst int, batch []Update) {
+		if dst == id {
+			n.localUpdates += uint64(len(batch))
+			for _, u := range batch {
+				n.w.Apply(u)
+			}
+			return
+		}
+		n.remoteUpdates += uint64(len(batch))
+		n.counter++
+		n.node.Send(dst, batchMsg{updates: batch}, len(batch)*UpdateWireBytes)
+	})
+	n.node.SetHandler(n.handle)
+	return n
+}
+
+func (n *asyncNode) start() {
+	n.node.Start(func() {
+		n.node.Busy(n.run.comp.PerInit * sim.Time(n.w.ShardSize()))
+		n.w.Init()
+		if n.node.ID() == 0 {
+			// Node 0 holds the initial token; the first probe starts
+			// once it goes passive.
+			n.hasToken = true
+			n.token = tokenMsg{}
+		}
+		n.schedule()
+	})
+}
+
+// schedule queues a work quantum when one is not already pending.
+func (n *asyncNode) schedule() {
+	if n.scheduled {
+		return
+	}
+	n.scheduled = true
+	at := n.node.BusyUntil()
+	if now := n.run.clu.Kernel.Now(); at < now {
+		at = now
+	}
+	n.run.clu.Kernel.At(at, n.quantum)
+}
+
+// quantum expands up to chunk positions, then settles.
+func (n *asyncNode) quantum() {
+	n.scheduled = false
+	if n.run.inEpilogue {
+		return
+	}
+	n.w.Refill()
+	k := n.w.Expand(n.run.chunk, func(owner int, u Update) { n.buf.Add(owner, u) })
+	if k > 0 {
+		n.node.Busy(n.run.comp.PerExpand * sim.Time(k))
+	}
+	n.settle()
+}
+
+// settle decides what a node does after working or receiving updates:
+// keep expanding if work remains, otherwise flush partial batches (which
+// can itself create local work via self-addressed updates) and, once
+// truly passive, take part in termination detection.
+func (n *asyncNode) settle() {
+	if n.w.Pending() > 0 {
+		n.schedule()
+		return
+	}
+	n.buf.FlushAll()
+	if n.w.Pending() > 0 {
+		n.schedule()
+		return
+	}
+	n.maybePassToken()
+}
+
+// handle processes one incoming message.
+func (n *asyncNode) handle(from int, payload any) {
+	switch m := payload.(type) {
+	case batchMsg:
+		n.counter--
+		n.black = true // Safra rule 1
+		n.node.Busy(n.run.comp.PerUpdate * sim.Time(len(m.updates)))
+		for _, u := range m.updates {
+			n.w.Apply(u)
+		}
+		n.settle()
+	case tokenMsg:
+		n.hasToken = true
+		n.token = m
+		n.maybePassToken()
+	case goMsg:
+		n.epilogue(m)
+	case doneMsg:
+		n.coordinatorEpilogueDone(m)
+	default:
+		panic(fmt.Sprintf("ra: async node %d received unknown payload %T", n.node.ID(), payload))
+	}
+}
+
+// passive reports whether the node has no local work and no buffered
+// updates.
+func (n *asyncNode) passive() bool {
+	return n.w.Pending() == 0 && !n.scheduled
+}
+
+// maybePassToken implements Safra rules 2 and 3: forward the token when
+// passive; at node 0, decide termination or start a new probe.
+func (n *asyncNode) maybePassToken() {
+	if !n.hasToken || !n.passive() || n.run.inEpilogue {
+		return
+	}
+	run := n.run
+	if n.node.ID() == 0 {
+		run.probes++
+		if run.probes > 1 && !n.black && !n.token.black && n.token.count+n.counter == 0 {
+			// Global quiescence: the returned token is white, node 0
+			// stayed white, and the circulated counters plus node 0's
+			// own balance to zero — every sent message was received.
+			n.startEpilogue()
+			return
+		}
+		// Start a new probe: a fresh white token with count 0 (node 0's
+		// own counter enters only the termination test above).
+		n.sendToken(tokenMsg{})
+		return
+	}
+	// Safra rule 2: forward with the local count added; blacken the
+	// token if this node is black.
+	t := n.token
+	t.count += n.counter
+	if n.black {
+		t.black = true
+	}
+	n.sendToken(t)
+}
+
+// sendToken passes the token to the next node on the ring (descending
+// ids, per Safra's presentation) and whitens this node.
+func (n *asyncNode) sendToken(t tokenMsg) {
+	next := n.node.ID() - 1
+	if next < 0 {
+		next = len(n.run.nodes) - 1
+	}
+	n.hasToken = false
+	n.black = false
+	if next == n.node.ID() {
+		// Single node: the token returns immediately.
+		n.hasToken = true
+		n.token = t
+		if n.passive() {
+			n.maybePassToken()
+		}
+		return
+	}
+	n.run.protocolMsgs++
+	n.node.Send(next, t, tokenMsgBytes)
+}
+
+// startEpilogue runs loop resolution across the cluster once propagation
+// has terminated.
+func (n *asyncNode) startEpilogue() {
+	run := n.run
+	run.inEpilogue = true
+	run.dones = 0
+	msg := goMsg{phase: phaseLoops}
+	if len(run.nodes) > 1 {
+		run.protocolMsgs++
+		n.node.Send(network.Broadcast, msg, goMsgBytes)
+	}
+	n.epilogue(msg)
+}
+
+func (n *asyncNode) epilogue(m goMsg) {
+	switch m.phase {
+	case phaseLoops:
+		resolved := n.w.ResolveLoops()
+		n.node.Busy(n.run.comp.PerLoop * sim.Time(resolved))
+		if n.node.ID() == 0 {
+			n.coordinatorEpilogueDone(doneMsg{})
+			return
+		}
+		n.run.protocolMsgs++
+		n.node.Send(0, doneMsg{}, doneMsgBytes)
+	case phaseFinish:
+		// Nothing to do.
+	}
+}
+
+func (n *asyncNode) coordinatorEpilogueDone(doneMsg) {
+	run := n.run
+	run.dones++
+	if run.dones < len(run.nodes) {
+		return
+	}
+	run.finished = true
+	if len(run.nodes) > 1 {
+		run.protocolMsgs++
+		n.node.Send(network.Broadcast, goMsg{phase: phaseFinish}, goMsgBytes)
+	}
+}

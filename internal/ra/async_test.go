@@ -1,0 +1,98 @@
+package ra
+
+import (
+	"testing"
+
+	"retrograde/internal/game"
+	"retrograde/internal/nim"
+	"retrograde/internal/ttt"
+)
+
+// TestAsyncMatchesSequentialValuesOnScoreGames: awari-style score values
+// are order-insensitive, so the asynchronous engine must reproduce them
+// exactly. This file tests the WDL games; the awari equality test lives
+// in package ladder (which can build slices).
+func TestAsyncOutcomesMatchOnWDLGames(t *testing.T) {
+	for _, g := range []game.Game{nim.MustNew(3, 4), ttt.New()} {
+		want := SolveSequential(g)
+		for _, cfg := range []AsyncDistributed{
+			{Workers: 1},
+			{Workers: 3, Combine: 8},
+			{Workers: 5, Chunk: 16},
+			{Workers: 8, Network: CrossbarNet},
+		} {
+			got, err := cfg.Solve(g)
+			if err != nil {
+				t.Fatalf("%s %s: %v", g.Name(), cfg.Name(), err)
+			}
+			// Outcomes must agree everywhere; depths may differ (update
+			// application is not level-synchronous).
+			for idx := range want.Values {
+				wo := game.WDLOutcome(want.Values[idx])
+				go_ := game.WDLOutcome(got.Values[idx])
+				if wo != go_ {
+					t.Fatalf("%s %s: outcome differs at %d: %v vs %v", g.Name(), cfg.Name(), idx, go_, wo)
+				}
+			}
+			if got.LoopPositions != want.LoopPositions {
+				t.Errorf("%s %s: loop positions %d vs %d", g.Name(), cfg.Name(), got.LoopPositions, want.LoopPositions)
+			}
+		}
+	}
+}
+
+// TestAsyncDeterministic: the simulation is single-threaded, so repeated
+// runs give identical traces.
+func TestAsyncDeterministic(t *testing.T) {
+	g := nim.MustNew(3, 3)
+	cfg := AsyncDistributed{Workers: 4, Combine: 8}
+	_, a, err := cfg.SolveDetailed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := cfg.SolveDetailed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration || a.Events != b.Events || a.Net.Messages != b.Net.Messages {
+		t.Errorf("async runs differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestAsyncTerminationDetection sanity-checks the Safra machinery: at
+// least two probe rounds, and no data message left unaccounted (the
+// engine would stall otherwise, failing the run).
+func TestAsyncProbeRounds(t *testing.T) {
+	g := ttt.New()
+	res, rep, err := (AsyncDistributed{Workers: 6}).SolveDetailed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Waves < 2 { // probe rounds are reported in Waves for async runs
+		t.Errorf("only %d probe rounds", res.Waves)
+	}
+	if rep.ProtocolMessages == 0 {
+		t.Error("no protocol messages counted")
+	}
+	totals := res.Totals()
+	if totals.UpdatesApplied != totals.PredsGenerated {
+		t.Errorf("updates applied %d != generated %d", totals.UpdatesApplied, totals.PredsGenerated)
+	}
+}
+
+// TestAsyncNoBarriers: the async engine should send far fewer protocol
+// messages than the synchronous engine on a wave-heavy workload.
+func TestAsyncNoBarriers(t *testing.T) {
+	g := ttt.New()
+	_, sync_, err := (Distributed{Workers: 8}).SolveDetailed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, async, err := (AsyncDistributed{Workers: 8}).SolveDetailed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async.ProtocolMessages >= sync_.ProtocolMessages {
+		t.Errorf("async protocol messages %d >= synchronous %d", async.ProtocolMessages, sync_.ProtocolMessages)
+	}
+}

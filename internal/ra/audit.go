@@ -1,0 +1,66 @@
+package ra
+
+import (
+	"fmt"
+
+	"retrograde/internal/game"
+)
+
+// Audit re-derives every position's value from the finished database and
+// reports the first inconsistency, or nil if the database is a correct
+// fixpoint of retrograde analysis. It is the independent verification used
+// by the raverify tool and the test suite.
+//
+// Checked rules:
+//   - a terminal position's value equals its TerminalValue;
+//   - a propagation-determined position's value equals the best mover
+//     value over all of its moves (resolved moves and final successors);
+//   - a loop-resolved position's value equals the better of its loop value
+//     and the best mover value over its propagation-determined successors
+//     (loop-resolved successors sent no updates, per the documented
+//     eternal-play semantics — see DESIGN.md).
+func Audit(g game.Game, r *Result) error {
+	if uint64(len(r.Values)) != g.Size() {
+		return fmt.Errorf("ra: audit: result has %d values, game has %d positions", len(r.Values), g.Size())
+	}
+	var moves []game.Move
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		v := r.Values[idx]
+		if v == game.NoValue {
+			return fmt.Errorf("ra: audit: position %d has no value", idx)
+		}
+		moves = g.Moves(idx, moves[:0])
+		if len(moves) == 0 {
+			if want := g.TerminalValue(idx); v != want {
+				return fmt.Errorf("ra: audit: terminal position %d has value %d, want %d", idx, v, want)
+			}
+			continue
+		}
+		best := game.NoValue
+		bestDetermined := game.NoValue
+		for _, m := range moves {
+			var mv game.Value
+			if m.Internal {
+				mv = g.MoverValue(r.Values[m.Child])
+				if !r.IsLoop(m.Child) {
+					bestDetermined = game.BetterOf(g, bestDetermined, mv)
+				}
+			} else {
+				mv = m.Value
+				bestDetermined = game.BetterOf(g, bestDetermined, mv)
+			}
+			best = game.BetterOf(g, best, mv)
+		}
+		if r.IsLoop(idx) {
+			want := game.BetterOf(g, bestDetermined, g.LoopValue(idx))
+			if v != want {
+				return fmt.Errorf("ra: audit: loop position %d has value %d, want %d", idx, v, want)
+			}
+			continue
+		}
+		if v != best {
+			return fmt.Errorf("ra: audit: position %d has value %d, want best-over-moves %d", idx, v, best)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,354 @@
+package ra
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+
+	"retrograde/internal/game"
+)
+
+// The paper's large runs took tens of hours; production database builds
+// need to survive restarts. A checkpoint captures a worker's complete
+// mid-analysis state between waves; Resumable wraps the sequential engine
+// with periodic checkpoints and resume-from-file.
+
+const (
+	checkpointMagic   = "RACP"
+	checkpointVersion = 1
+)
+
+var crcTab = crc64.MakeTable(crc64.ECMA)
+
+// ErrPaused is returned by Resumable.Solve when it stops early because
+// StopAfterWaves was reached; the checkpoint on disk continues the run.
+var ErrPaused = errors.New("ra: analysis paused at a checkpoint")
+
+// WriteCheckpoint serialises the worker's full state plus the caller's
+// wave counter. Safe to call between waves (never during Expand/Apply).
+func (w *Worker) WriteCheckpoint(out io.Writer, waves int) error {
+	cw := &crcWriter{w: out}
+	head := make([]byte, 0, 64)
+	head = append(head, checkpointMagic...)
+	head = binary.LittleEndian.AppendUint32(head, checkpointVersion)
+	head = binary.LittleEndian.AppendUint32(head, uint32(w.me))
+	head = binary.LittleEndian.AppendUint32(head, uint32(w.part.Workers()))
+	head = binary.LittleEndian.AppendUint64(head, w.part.Group())
+	head = binary.LittleEndian.AppendUint64(head, w.part.Size())
+	head = binary.LittleEndian.AppendUint64(head, uint64(waves))
+	if _, err := cw.Write(head); err != nil {
+		return err
+	}
+	if err := writeU16s(cw, w.value); err != nil {
+		return err
+	}
+	if err := writeI32s(cw, w.counter); err != nil {
+		return err
+	}
+	finals := make([]byte, len(w.final))
+	for i, f := range w.final {
+		if f {
+			finals[i] = 1
+		}
+	}
+	if _, err := cw.Write(finals); err != nil {
+		return err
+	}
+	for _, q := range [][]uint64{w.queue, w.next, w.loopy} {
+		if err := writeU64s(cw, q); err != nil {
+			return err
+		}
+	}
+	stats := []uint64{
+		w.Stats.Positions, w.Stats.InitFinal, w.Stats.MovesGenerated,
+		w.Stats.Expanded, w.Stats.PredsGenerated, w.Stats.UpdatesApplied,
+		w.Stats.UpdatesStale, w.Stats.Finalized, w.Stats.LoopResolved,
+	}
+	if err := writeU64s(cw, stats); err != nil {
+		return err
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint64(tail[:], cw.crc)
+	_, err := cw.w.Write(tail[:])
+	return err
+}
+
+// ReadCheckpoint restores a worker written by WriteCheckpoint. The game
+// must be the one the checkpoint was taken from (sizes are verified; the
+// game's identity cannot be).
+func ReadCheckpoint(g game.Game, in io.Reader) (w *Worker, waves int, err error) {
+	cr := &crcReader{r: in}
+	head := make([]byte, 40)
+	if _, err := io.ReadFull(cr, head); err != nil {
+		return nil, 0, fmt.Errorf("ra: reading checkpoint header: %w", err)
+	}
+	if string(head[:4]) != checkpointMagic {
+		return nil, 0, fmt.Errorf("ra: bad checkpoint magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != checkpointVersion {
+		return nil, 0, fmt.Errorf("ra: unsupported checkpoint version %d", v)
+	}
+	me := int(binary.LittleEndian.Uint32(head[8:]))
+	workers := int(binary.LittleEndian.Uint32(head[12:]))
+	group := binary.LittleEndian.Uint64(head[16:])
+	size := binary.LittleEndian.Uint64(head[24:])
+	waves = int(binary.LittleEndian.Uint64(head[32:]))
+	if size != g.Size() {
+		return nil, 0, fmt.Errorf("ra: checkpoint is for a %d-position game, got %d", size, g.Size())
+	}
+	part, err := NewPartition(size, workers, group)
+	if err != nil {
+		return nil, 0, err
+	}
+	w = NewWorker(g, part, me)
+	if err := readU16s(cr, w.value); err != nil {
+		return nil, 0, err
+	}
+	if err := readI32s(cr, w.counter); err != nil {
+		return nil, 0, err
+	}
+	finals := make([]byte, len(w.final))
+	if _, err := io.ReadFull(cr, finals); err != nil {
+		return nil, 0, err
+	}
+	for i, f := range finals {
+		w.final[i] = f == 1
+	}
+	if w.queue, err = readU64Slice(cr); err != nil {
+		return nil, 0, err
+	}
+	if w.next, err = readU64Slice(cr); err != nil {
+		return nil, 0, err
+	}
+	if w.loopy, err = readU64Slice(cr); err != nil {
+		return nil, 0, err
+	}
+	stats, err := readU64Slice(cr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(stats) != 9 {
+		return nil, 0, fmt.Errorf("ra: checkpoint has %d stats fields, want 9", len(stats))
+	}
+	w.Stats = WorkerStats{
+		Positions: stats[0], InitFinal: stats[1], MovesGenerated: stats[2],
+		Expanded: stats[3], PredsGenerated: stats[4], UpdatesApplied: stats[5],
+		UpdatesStale: stats[6], Finalized: stats[7], LoopResolved: stats[8],
+	}
+	want := cr.crc
+	var tail [8]byte
+	if _, err := io.ReadFull(cr.r, tail[:]); err != nil {
+		return nil, 0, fmt.Errorf("ra: reading checkpoint checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(tail[:]); got != want {
+		return nil, 0, fmt.Errorf("ra: checkpoint checksum mismatch")
+	}
+	return w, waves, nil
+}
+
+// Resumable is a sequential engine with periodic checkpoints: if Path
+// exists, Solve resumes from it; otherwise it starts fresh. A checkpoint
+// is (re)written every Every waves. With StopAfterWaves > 0 the engine
+// checkpoints and returns ErrPaused after that many additional waves —
+// useful for budgeted runs and crash-recovery testing.
+type Resumable struct {
+	Path           string
+	Every          int // waves between checkpoints; 0 means 16
+	StopAfterWaves int // 0 = run to completion
+}
+
+// Name implements Engine.
+func (e Resumable) Name() string { return fmt.Sprintf("resumable(%s)", e.Path) }
+
+func (e Resumable) every() int {
+	if e.Every > 0 {
+		return e.Every
+	}
+	return 16
+}
+
+// Solve implements Engine.
+func (e Resumable) Solve(g game.Game) (*Result, error) {
+	if e.Path == "" {
+		return nil, errors.New("ra: Resumable needs a checkpoint path")
+	}
+	var w *Worker
+	waves := 0
+	if f, err := os.Open(e.Path); err == nil {
+		br := bufio.NewReader(f)
+		w, waves, err = ReadCheckpoint(g, br)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("ra: resuming from %s: %w", e.Path, err)
+		}
+	} else if os.IsNotExist(err) {
+		part := Cyclic(g.Size(), 1)
+		w = NewWorker(g, part, 0)
+		w.Init()
+	} else {
+		return nil, err
+	}
+
+	ranThisCall := 0
+	for w.BeginWave() > 0 {
+		waves++
+		ranThisCall++
+		w.Expand(0, func(owner int, u Update) { w.Apply(u) })
+		if waves%e.every() == 0 {
+			if err := e.writeCheckpoint(w, waves); err != nil {
+				return nil, err
+			}
+		}
+		if e.StopAfterWaves > 0 && ranThisCall >= e.StopAfterWaves {
+			if err := e.writeCheckpoint(w, waves); err != nil {
+				return nil, err
+			}
+			return nil, ErrPaused
+		}
+	}
+	loops := w.ResolveLoops()
+	values := make([]game.Value, g.Size())
+	w.Fill(values)
+	loopBits := make([]uint64, (g.Size()+63)/64)
+	w.FillLoop(loopBits)
+	return &Result{
+		Values:        values,
+		Waves:         waves,
+		LoopPositions: loops,
+		Loop:          loopBits,
+		Workers:       []WorkerStats{w.Stats},
+	}, nil
+}
+
+// writeCheckpoint writes atomically via a temporary file.
+func (e Resumable) writeCheckpoint(w *Worker, waves int) error {
+	tmp := e.Path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := w.WriteCheckpoint(bw, waves); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, e.Path)
+}
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc64.Update(c.crc, crcTab, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint64
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc64.Update(c.crc, crcTab, p[:n])
+	return n, err
+}
+
+func writeU16s(w io.Writer, xs []game.Value) error {
+	buf := make([]byte, 8+2*len(xs))
+	binary.LittleEndian.PutUint64(buf, uint64(len(xs)))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint16(buf[8+2*i:], uint16(x))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readU16s(r io.Reader, dst []game.Value) error {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return err
+	}
+	if n := binary.LittleEndian.Uint64(head[:]); n != uint64(len(dst)) {
+		return fmt.Errorf("ra: checkpoint value array has %d entries, want %d", n, len(dst))
+	}
+	buf := make([]byte, 2*len(dst))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = game.Value(binary.LittleEndian.Uint16(buf[2*i:]))
+	}
+	return nil
+}
+
+func writeI32s(w io.Writer, xs []int32) error {
+	buf := make([]byte, 8+4*len(xs))
+	binary.LittleEndian.PutUint64(buf, uint64(len(xs)))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(buf[8+4*i:], uint32(x))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readI32s(r io.Reader, dst []int32) error {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return err
+	}
+	if n := binary.LittleEndian.Uint64(head[:]); n != uint64(len(dst)) {
+		return fmt.Errorf("ra: checkpoint counter array has %d entries, want %d", n, len(dst))
+	}
+	buf := make([]byte, 4*len(dst))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}
+
+func writeU64s(w io.Writer, xs []uint64) error {
+	buf := make([]byte, 8+8*len(xs))
+	binary.LittleEndian.PutUint64(buf, uint64(len(xs)))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], x)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readU64Slice(r io.Reader) ([]uint64, error) {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(head[:])
+	if n > 1<<40 {
+		return nil, fmt.Errorf("ra: implausible checkpoint slice length %d", n)
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return xs, nil
+}

@@ -1,0 +1,164 @@
+package ra
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"retrograde/internal/nim"
+	"retrograde/internal/ttt"
+)
+
+// finish drains a worker to completion and returns its values via a
+// fresh Result-shaped comparison against the reference.
+func finishWorker(w *Worker) {
+	for w.BeginWave() > 0 {
+		w.Expand(0, func(owner int, u Update) { w.Apply(u) })
+	}
+	w.ResolveLoops()
+}
+
+func TestCheckpointRoundTripMidAnalysis(t *testing.T) {
+	g := ttt.New()
+	want := SolveSequential(g)
+
+	part := Cyclic(g.Size(), 1)
+	w := NewWorker(g, part, 0)
+	w.Init()
+	for i := 0; i < 3 && w.BeginWave() > 0; i++ {
+		w.Expand(0, func(owner int, u Update) { w.Apply(u) })
+	}
+	var buf bytes.Buffer
+	if err := w.WriteCheckpoint(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	restored, waves, err := ReadCheckpoint(g, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waves != 3 {
+		t.Errorf("restored waves = %d, want 3", waves)
+	}
+	// Finishing the restored worker must reproduce the reference values.
+	finishWorker(restored)
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		if restored.Value(idx) != want.Values[idx] {
+			t.Fatalf("restored analysis differs at %d", idx)
+		}
+	}
+	if restored.Stats.Positions != want.Workers[0].Positions {
+		t.Errorf("stats not restored: %+v", restored.Stats)
+	}
+}
+
+func TestCheckpointRejectsWrongGame(t *testing.T) {
+	g := nim.MustNew(2, 4)
+	part := Cyclic(g.Size(), 1)
+	w := NewWorker(g, part, 0)
+	w.Init()
+	var buf bytes.Buffer
+	if err := w.WriteCheckpoint(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCheckpoint(nim.MustNew(3, 4), bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("checkpoint for a different game size was accepted")
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	g := nim.MustNew(2, 4)
+	part := Cyclic(g.Size(), 1)
+	w := NewWorker(g, part, 0)
+	w.Init()
+	var buf bytes.Buffer
+	if err := w.WriteCheckpoint(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0x40
+	if _, _, err := ReadCheckpoint(g, bytes.NewReader(data)); err == nil {
+		t.Error("corrupted checkpoint was accepted")
+	}
+}
+
+// TestResumableCrashRecovery simulates a crash: the first invocation is
+// stopped after a few waves (ErrPaused, checkpoint on disk); a second
+// invocation resumes from the file and must produce the same database as
+// an uninterrupted run.
+func TestResumableCrashRecovery(t *testing.T) {
+	g := ttt.New()
+	want := SolveSequential(g)
+	path := filepath.Join(t.TempDir(), "ttt.racp")
+
+	paused := Resumable{Path: path, Every: 2, StopAfterWaves: 4}
+	if _, err := paused.Solve(g); !errors.Is(err, ErrPaused) {
+		t.Fatalf("first run returned %v, want ErrPaused", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint on disk: %v", err)
+	}
+
+	resumed := Resumable{Path: path, Every: 2}
+	got, err := resumed.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Waves != want.Waves {
+		t.Errorf("waves = %d, want %d", got.Waves, want.Waves)
+	}
+	for idx := range want.Values {
+		if got.Values[idx] != want.Values[idx] {
+			t.Fatalf("resumed run differs at %d", idx)
+		}
+	}
+}
+
+func TestResumableFreshRun(t *testing.T) {
+	g := nim.MustNew(3, 3)
+	want := SolveSequential(g)
+	path := filepath.Join(t.TempDir(), "nim.racp")
+	got, err := Resumable{Path: path}.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range want.Values {
+		if got.Values[idx] != want.Values[idx] {
+			t.Fatalf("resumable fresh run differs at %d", idx)
+		}
+	}
+}
+
+func TestResumableNeedsPath(t *testing.T) {
+	if _, err := (Resumable{}).Solve(nim.MustNew(1, 2)); err == nil {
+		t.Error("Resumable without a path succeeded")
+	}
+}
+
+func TestResumableRepeatedPauses(t *testing.T) {
+	g := ttt.New()
+	want := SolveSequential(g)
+	path := filepath.Join(t.TempDir(), "ttt.racp")
+	// Pause every 2 waves until done; each call resumes the previous.
+	var got *Result
+	for i := 0; i < 100; i++ {
+		r, err := (Resumable{Path: path, StopAfterWaves: 2}).Solve(g)
+		if errors.Is(err, ErrPaused) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = r
+		break
+	}
+	if got == nil {
+		t.Fatal("run never completed")
+	}
+	for idx := range want.Values {
+		if got.Values[idx] != want.Values[idx] {
+			t.Fatalf("paused/resumed run differs at %d", idx)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package ra
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"retrograde/internal/combine"
+	"retrograde/internal/game"
+)
+
+// Concurrent is the shared-memory parallel engine: one goroutine per
+// shard, update batches carried over channels. It mirrors the distributed
+// algorithm (same waves, same combining) but with the host's real cores,
+// so it both validates the distributed engine and gives genuine wall-clock
+// speedups for building real databases.
+type Concurrent struct {
+	// Workers is the number of shards; 0 means GOMAXPROCS.
+	Workers int
+	// Batch is the number of updates combined into one channel send;
+	// 0 means 256, 1 disables batching (the unbatched ablation).
+	Batch int
+	// Group is the block-cyclic partition group size; 0 means 1 (cyclic).
+	Group uint64
+}
+
+// Name implements Engine.
+func (c Concurrent) Name() string {
+	return fmt.Sprintf("concurrent(p=%d,batch=%d)", c.workers(), c.batch())
+}
+
+func (c Concurrent) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Concurrent) batch() int {
+	if c.Batch > 0 {
+		return c.Batch
+	}
+	return 256
+}
+
+func (c Concurrent) group() uint64 {
+	if c.Group > 0 {
+		return c.Group
+	}
+	return 1
+}
+
+// doneBatch is the per-wave sentinel signalling "no more batches from
+// this sender this wave".
+var doneBatch []Update
+
+// Solve implements Engine.
+func (c Concurrent) Solve(g game.Game) (*Result, error) {
+	p := c.workers()
+	part, err := NewPartition(g.Size(), p, c.group())
+	if err != nil {
+		return nil, err
+	}
+	workers := make([]*Worker, p)
+	// Inboxes are buffered so that senders rarely block; receivers drain
+	// concurrently with expansion, so any buffer size is deadlock-free.
+	inbox := make([]chan []Update, p)
+	for i := range workers {
+		workers[i] = NewWorker(g, part, i)
+		inbox[i] = make(chan []Update, 4*p)
+	}
+
+	// Phase 1: initialisation, embarrassingly parallel.
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			w.Init()
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 2: wave-synchronous propagation. Each wave, every worker
+	// runs a receiver goroutine (applying incoming batches until it has
+	// seen one done sentinel per peer) and an expander goroutine
+	// (generating updates, batching them per destination, then sending
+	// the sentinels). A barrier separates waves.
+	waves := 0
+	for {
+		total := 0
+		for _, w := range workers {
+			total += w.BeginWave()
+		}
+		if total == 0 {
+			break
+		}
+		waves++
+		for i, w := range workers {
+			wg.Add(2)
+			// Receiver: drain batches until p sentinels arrive (one per
+			// sender, including our own expander's).
+			go func(me int, w *Worker) {
+				defer wg.Done()
+				done := 0
+				for done < p {
+					batch := <-inbox[me]
+					if batch == nil {
+						done++
+						continue
+					}
+					for _, u := range batch {
+						w.Apply(u)
+					}
+				}
+			}(i, w)
+			// Expander: generate this wave's updates.
+			go func(me int, w *Worker) {
+				defer wg.Done()
+				buf := combine.MustNew(p, c.batch(), func(dst int, batch []Update) {
+					inbox[dst] <- batch
+				})
+				w.Expand(0, func(owner int, u Update) { buf.Add(owner, u) })
+				buf.FlushAll()
+				for dst := 0; dst < p; dst++ {
+					inbox[dst] <- doneBatch
+				}
+			}(i, w)
+		}
+		wg.Wait()
+	}
+
+	// Phase 3: loop resolution, embarrassingly parallel.
+	var loops uint64
+	var mu sync.Mutex
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			n := w.ResolveLoops()
+			mu.Lock()
+			loops += n
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	values := make([]game.Value, g.Size())
+	loopBits := make([]uint64, (g.Size()+63)/64)
+	stats := make([]WorkerStats, p)
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			w.Fill(values)
+			stats[i] = w.Stats
+		}(i, w)
+	}
+	wg.Wait()
+	// Loop bitsets write shared words; fill sequentially.
+	for _, w := range workers {
+		w.FillLoop(loopBits)
+	}
+	return &Result{
+		Values:        values,
+		Waves:         waves,
+		LoopPositions: loops,
+		Loop:          loopBits,
+		Workers:       stats,
+	}, nil
+}

@@ -1,0 +1,24 @@
+package ra
+
+import "retrograde/internal/game"
+
+// Engine solves a game by retrograde analysis. The three implementations
+// (Sequential, Concurrent, Distributed) compute bit-identical results.
+type Engine interface {
+	// Name identifies the engine configuration for reports.
+	Name() string
+	// Solve runs retrograde analysis over the game's full position space.
+	Solve(g game.Game) (*Result, error)
+}
+
+// Sequential is the single-worker baseline engine — the paper's
+// uniprocessor measurement.
+type Sequential struct{}
+
+// Name implements Engine.
+func (Sequential) Name() string { return "sequential" }
+
+// Solve implements Engine.
+func (Sequential) Solve(g game.Game) (*Result, error) {
+	return SolveSequential(g), nil
+}

@@ -1,0 +1,107 @@
+// Package ra implements retrograde analysis: sequential, shared-memory
+// parallel, and distributed (simulated cluster) engines over the game
+// abstraction of package game.
+//
+// All engines share one worker state machine (worker.go), so they compute
+// bit-identical databases; they differ only in how update messages travel
+// between shards. The distributed engine reproduces the algorithm of Bal &
+// Allis (SC95): the position space is partitioned over processors, value
+// updates to remote predecessors are sent as messages, and message
+// combining batches them per destination.
+package ra
+
+import "fmt"
+
+// Partition distributes a position space [0, size) over a number of
+// workers using a block-cyclic map: consecutive groups of `group`
+// positions are dealt round-robin to workers. group=1 is the cyclic
+// (modulo) map; group >= ceil(size/workers) is the contiguous block map;
+// intermediate values interpolate. Within each worker the owned positions
+// form a dense local index space, so shards can be stored in flat arrays.
+type Partition struct {
+	size    uint64
+	workers int
+	group   uint64
+}
+
+// NewPartition returns the block-cyclic partition of [0, size) over
+// workers with the given group size.
+func NewPartition(size uint64, workers int, group uint64) (*Partition, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("ra: partition needs at least 1 worker, got %d", workers)
+	}
+	if group < 1 {
+		return nil, fmt.Errorf("ra: partition group size must be positive, got %d", group)
+	}
+	return &Partition{size: size, workers: workers, group: group}, nil
+}
+
+// Cyclic returns the modulo partition (group size 1), the default of the
+// distributed engine.
+func Cyclic(size uint64, workers int) *Partition {
+	p, err := NewPartition(size, workers, 1)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Blocked returns the contiguous block partition.
+func Blocked(size uint64, workers int) *Partition {
+	group := (size + uint64(workers) - 1) / uint64(workers)
+	if group == 0 {
+		group = 1
+	}
+	p, err := NewPartition(size, workers, group)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Size returns the size of the partitioned space.
+func (p *Partition) Size() uint64 { return p.size }
+
+// Workers returns the number of shards.
+func (p *Partition) Workers() int { return p.workers }
+
+// Group returns the block-cyclic group size.
+func (p *Partition) Group() uint64 { return p.group }
+
+// Owner returns the worker owning global index idx.
+func (p *Partition) Owner(idx uint64) int {
+	return int((idx / p.group) % uint64(p.workers))
+}
+
+// Local converts a global index into its owner's dense local index.
+func (p *Partition) Local(idx uint64) uint64 {
+	g := idx / p.group
+	return (g/uint64(p.workers))*p.group + idx%p.group
+}
+
+// Global converts worker w's dense local index back to the global index.
+func (p *Partition) Global(w int, local uint64) uint64 {
+	g := (local/p.group)*uint64(p.workers) + uint64(w)
+	return g*p.group + local%p.group
+}
+
+// ShardSize returns the number of positions owned by worker w.
+func (p *Partition) ShardSize(w int) uint64 {
+	if p.size == 0 {
+		return 0
+	}
+	totalGroups := (p.size + p.group - 1) / p.group
+	owned := totalGroups / uint64(p.workers)
+	if uint64(w) < totalGroups%uint64(p.workers) {
+		owned++
+	}
+	if owned == 0 {
+		return 0
+	}
+	sz := owned * p.group
+	lastGroup := totalGroups - 1
+	if lastGroup%uint64(p.workers) == uint64(w) {
+		sz -= totalGroups*p.group - p.size // trim the partial last group
+	}
+	return sz
+}

@@ -1,0 +1,127 @@
+package ra
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPartitionValidation(t *testing.T) {
+	if _, err := NewPartition(10, 0, 1); err == nil {
+		t.Error("NewPartition with 0 workers succeeded")
+	}
+	if _, err := NewPartition(10, 2, 0); err == nil {
+		t.Error("NewPartition with 0 group size succeeded")
+	}
+}
+
+func TestPartitionAccessors(t *testing.T) {
+	p, err := NewPartition(100, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 100 || p.Workers() != 4 || p.Group() != 8 {
+		t.Error("accessors disagree with construction")
+	}
+}
+
+// checkPartition verifies the partition invariants exhaustively for one
+// configuration: shard sizes sum to the space, Local/Global round-trip,
+// local indices are dense per shard.
+func checkPartition(t *testing.T, size uint64, workers int, group uint64) {
+	t.Helper()
+	p, err := NewPartition(size, workers, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for w := 0; w < workers; w++ {
+		sum += p.ShardSize(w)
+	}
+	if sum != size {
+		t.Fatalf("size=%d workers=%d group=%d: shard sizes sum to %d", size, workers, group, sum)
+	}
+	seen := make([]uint64, workers) // next expected local index per shard
+	for idx := uint64(0); idx < size; idx++ {
+		w := p.Owner(idx)
+		if w < 0 || w >= workers {
+			t.Fatalf("Owner(%d) = %d out of range", idx, w)
+		}
+		local := p.Local(idx)
+		if back := p.Global(w, local); back != idx {
+			t.Fatalf("size=%d workers=%d group=%d: Global(%d, Local(%d)) = %d", size, workers, group, w, idx, back)
+		}
+		if local >= p.ShardSize(w) {
+			t.Fatalf("Local(%d) = %d >= shard size %d", idx, local, p.ShardSize(w))
+		}
+		// Within a shard, locals appear in increasing dense order as the
+		// global index increases.
+		if local != seen[w] {
+			t.Fatalf("size=%d workers=%d group=%d: shard %d local %d, expected dense %d", size, workers, group, w, local, seen[w])
+		}
+		seen[w]++
+	}
+}
+
+func TestPartitionExhaustive(t *testing.T) {
+	sizes := []uint64{0, 1, 7, 64, 100, 1000}
+	workerCounts := []int{1, 2, 3, 7, 64}
+	groups := []uint64{1, 2, 7, 16, 1000}
+	for _, size := range sizes {
+		for _, workers := range workerCounts {
+			for _, group := range groups {
+				checkPartition(t, size, workers, group)
+			}
+		}
+	}
+}
+
+func TestCyclicAndBlocked(t *testing.T) {
+	c := Cyclic(100, 4)
+	if c.Group() != 1 {
+		t.Error("Cyclic group != 1")
+	}
+	if c.Owner(5) != 1 || c.Owner(6) != 2 {
+		t.Error("Cyclic ownership is not modulo")
+	}
+	b := Blocked(100, 4)
+	if b.Owner(0) != 0 || b.Owner(24) != 0 || b.Owner(25) != 1 || b.Owner(99) != 3 {
+		t.Error("Blocked ownership is not contiguous")
+	}
+	// Degenerate: more workers than positions.
+	tiny := Blocked(2, 8)
+	var sum uint64
+	for w := 0; w < 8; w++ {
+		sum += tiny.ShardSize(w)
+	}
+	if sum != 2 {
+		t.Errorf("Blocked(2, 8) shard sizes sum to %d", sum)
+	}
+}
+
+func TestPartitionQuick(t *testing.T) {
+	f := func(sizeRaw uint16, workersRaw, groupRaw uint8) bool {
+		size := uint64(sizeRaw % 2048)
+		workers := int(workersRaw%16) + 1
+		group := uint64(groupRaw%64) + 1
+		p, err := NewPartition(size, workers, group)
+		if err != nil {
+			return false
+		}
+		var sum uint64
+		for w := 0; w < workers; w++ {
+			sum += p.ShardSize(w)
+		}
+		if sum != size {
+			return false
+		}
+		for idx := uint64(0); idx < size; idx++ {
+			if p.Global(p.Owner(idx), p.Local(idx)) != idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package ra
+
+import (
+	"fmt"
+	"math/bits"
+
+	"retrograde/internal/game"
+)
+
+// RefineStats describes an iterative refinement of loop-position values.
+type RefineStats struct {
+	// Sweeps is the number of full passes over the loop positions
+	// (including the final pass that observed no change).
+	Sweeps int
+	// Changed counts value updates applied across all sweeps.
+	Changed uint64
+	// Raised counts loop positions whose final value exceeds the plain
+	// loop-rule assignment.
+	Raised uint64
+	// Converged reports whether a fixpoint was reached within the sweep
+	// budget.
+	Converged bool
+}
+
+// Refine improves the values of loop-resolved positions in place.
+//
+// The base algorithm scores a cyclic position as the better of its loop
+// value and its best propagation-determined alternative; moves into other
+// cyclic positions are ignored (DESIGN.md). Refine adds them back: it
+// computes a fixpoint of
+//
+//	v(p) = better(LoopValue(p), best over all moves of the mover value)
+//
+// over the loop positions by deterministic in-place (Gauss-Seidel)
+// sweeps in increasing index order, with propagation-determined values
+// held fixed. At the fixpoint no player forgoes a strictly better move
+// given the rest of the table, while the loop value remains a standing
+// floor (the repetition split is always available). Values of determined
+// positions never change — their game-theoretic values do not depend on
+// cycle scoring.
+//
+// The operator is not monotone, so convergence is not guaranteed in
+// general; maxSweeps bounds the work (<= 0 selects a budget proportional
+// to the position count) and Converged reports the outcome. Values are
+// valid after any number of sweeps: every intermediate value is at least
+// the unrefined one. Use AuditRefined to verify a converged table.
+func Refine(g game.Game, r *Result, maxSweeps int) RefineStats {
+	loops := loopIndices(r)
+	if maxSweeps <= 0 {
+		maxSweeps = 2*len(loops) + 4
+	}
+	var st RefineStats
+	var moves []game.Move
+	for st.Sweeps < maxSweeps {
+		st.Sweeps++
+		changed := uint64(0)
+		for _, idx := range loops {
+			moves = g.Moves(idx, moves[:0])
+			v := refinedValue(g, r, idx, moves)
+			if v != r.Values[idx] {
+				r.Values[idx] = v
+				changed++
+			}
+		}
+		st.Changed += changed
+		if changed == 0 {
+			st.Converged = true
+			break
+		}
+	}
+	for _, idx := range loops {
+		if g.Better(r.Values[idx], g.LoopValue(idx)) {
+			st.Raised++
+		}
+	}
+	return st
+}
+
+// refinedValue computes better(LoopValue, best over moves) for idx under
+// the current table.
+func refinedValue(g game.Game, r *Result, idx uint64, moves []game.Move) game.Value {
+	best := g.LoopValue(idx)
+	for _, m := range moves {
+		mv := m.Value
+		if m.Internal {
+			mv = g.MoverValue(r.Values[m.Child])
+		}
+		best = game.BetterOf(g, best, mv)
+	}
+	return best
+}
+
+// AuditRefined verifies a refined database: determined positions must
+// satisfy the plain best-over-moves rule, and loop positions the refined
+// fixpoint rule (better of loop value and best over all moves). It
+// reports the first inconsistency, or nil.
+func AuditRefined(g game.Game, r *Result) error {
+	var moves []game.Move
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		moves = g.Moves(idx, moves[:0])
+		if !r.IsLoop(idx) {
+			continue // Audit covers determined positions; see below.
+		}
+		if want := refinedValue(g, r, idx, moves); r.Values[idx] != want {
+			return fmt.Errorf("ra: refined audit: loop position %d has value %d, want %d", idx, r.Values[idx], want)
+		}
+	}
+	// Determined positions: same rule as the plain audit, but children's
+	// values may have been refined upward, so re-derive directly.
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		if r.IsLoop(idx) {
+			continue
+		}
+		moves = g.Moves(idx, moves[:0])
+		if len(moves) == 0 {
+			if want := g.TerminalValue(idx); r.Values[idx] != want {
+				return fmt.Errorf("ra: refined audit: terminal %d has value %d, want %d", idx, r.Values[idx], want)
+			}
+			continue
+		}
+		best := game.NoValue
+		for _, m := range moves {
+			mv := m.Value
+			if m.Internal {
+				mv = g.MoverValue(r.Values[m.Child])
+			}
+			best = game.BetterOf(g, best, mv)
+		}
+		if r.Values[idx] != best {
+			return fmt.Errorf("ra: refined audit: determined position %d has value %d, best over moves %d", idx, r.Values[idx], best)
+		}
+	}
+	return nil
+}
+
+// loopIndices lists the loop-resolved positions in increasing order.
+func loopIndices(r *Result) []uint64 {
+	idxs := make([]uint64, 0, r.LoopPositions)
+	for w, word := range r.Loop {
+		for word != 0 {
+			idxs = append(idxs, uint64(w)*64+uint64(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return idxs
+}

@@ -1,0 +1,82 @@
+package ra
+
+import (
+	"testing"
+
+	"retrograde/internal/chess"
+	"retrograde/internal/game"
+	"retrograde/internal/nim"
+)
+
+func TestRefineNoopOnAcyclicGame(t *testing.T) {
+	g := nim.MustNew(3, 4)
+	r := SolveSequential(g)
+	before := append([]game.Value(nil), r.Values...)
+	st := Refine(g, r, 0)
+	if !st.Converged || st.Changed != 0 || st.Sweeps != 1 {
+		t.Errorf("stats = %+v, want immediate convergence with no changes", st)
+	}
+	for i := range before {
+		if r.Values[i] != before[i] {
+			t.Fatalf("value %d changed", i)
+		}
+	}
+	if err := AuditRefined(g, r); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKRKFullyDetermined: although the KRK position graph is cyclic,
+// counter propagation determines every position — the win-cutoff breaks
+// white's cycles and black's counters then drain — so no position falls
+// to the loop rule and refinement is a no-op. (The cyclic-refinement
+// behaviour itself is exercised on awari in package ladder.)
+func TestKRKFullyDetermined(t *testing.T) {
+	g := chess.MustNew(4)
+	r := SolveSequential(g)
+	if r.LoopPositions != 0 {
+		t.Errorf("KRK left %d positions to the loop rule", r.LoopPositions)
+	}
+	before := append([]game.Value(nil), r.Values...)
+	st := Refine(g, r, 0)
+	if !st.Converged || st.Changed != 0 {
+		t.Errorf("refine stats = %+v, want converged no-op", st)
+	}
+	for i := range before {
+		if r.Values[i] != before[i] {
+			t.Fatalf("value %d changed", i)
+		}
+	}
+}
+
+func TestAuditRefinedDetectsCorruption(t *testing.T) {
+	g := nim.MustNew(2, 4)
+	r := SolveSequential(g)
+	r.Values[g.Index([]int{2, 1})] = game.Draw
+	if AuditRefined(g, r) == nil {
+		t.Error("refined audit missed a corrupted determined value")
+	}
+}
+
+func TestLoopIndicesOrder(t *testing.T) {
+	r := &Result{Loop: []uint64{1<<3 | 1<<0, 1 << 5}, LoopPositions: 3}
+	got := loopIndices(r)
+	want := []uint64{0, 3, 69}
+	if len(got) != len(want) {
+		t.Fatalf("loopIndices = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("loopIndices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRefineSweepBudget(t *testing.T) {
+	g := nim.MustNew(1, 3)
+	r := SolveSequential(g)
+	st := Refine(g, r, 5)
+	if st.Sweeps > 5 {
+		t.Errorf("exceeded sweep budget: %+v", st)
+	}
+}

@@ -1,0 +1,75 @@
+package ra
+
+import "retrograde/internal/game"
+
+// Result is a finished retrograde analysis: the full value table plus
+// counters describing how the computation went.
+type Result struct {
+	// Values holds the final value of every position, indexed globally.
+	Values []game.Value
+	// Waves is the number of propagation waves (iterations) needed before
+	// quiescence, excluding initialisation and loop resolution.
+	Waves int
+	// LoopPositions is the number of positions resolved by the loop rule
+	// (never determined by propagation).
+	LoopPositions uint64
+	// Loop is a bitset over global indices marking loop-resolved positions.
+	Loop []uint64
+	// Workers holds per-shard work counters.
+	Workers []WorkerStats
+	// Sim holds the simulation report when the Distributed engine
+	// produced this result; nil otherwise.
+	Sim *SimReport
+}
+
+// Value returns the value of a position.
+func (r *Result) Value(idx uint64) game.Value { return r.Values[idx] }
+
+// IsLoop reports whether a position was resolved by the loop rule.
+func (r *Result) IsLoop(idx uint64) bool {
+	return r.Loop[idx/64]&(1<<(idx%64)) != 0
+}
+
+// Totals sums the per-worker statistics.
+func (r *Result) Totals() WorkerStats {
+	var t WorkerStats
+	for _, s := range r.Workers {
+		t.Positions += s.Positions
+		t.InitFinal += s.InitFinal
+		t.MovesGenerated += s.MovesGenerated
+		t.Expanded += s.Expanded
+		t.PredsGenerated += s.PredsGenerated
+		t.UpdatesApplied += s.UpdatesApplied
+		t.UpdatesStale += s.UpdatesStale
+		t.Finalized += s.Finalized
+		t.LoopResolved += s.LoopResolved
+	}
+	return t
+}
+
+// SolveSequential runs retrograde analysis on a single worker — the
+// uniprocessor baseline the paper's 40-hour measurement refers to.
+func SolveSequential(g game.Game) *Result {
+	part := Cyclic(g.Size(), 1)
+	w := NewWorker(g, part, 0)
+	w.Init()
+	waves := 0
+	for w.BeginWave() > 0 {
+		waves++
+		w.Expand(0, func(owner int, u Update) {
+			w.Apply(u)
+		})
+	}
+	loops := w.ResolveLoops()
+	values := make([]game.Value, g.Size())
+	w.Fill(values)
+	loopBits := make([]uint64, (g.Size()+63)/64)
+	w.FillLoop(loopBits)
+	return &Result{
+		Values:        values,
+		Waves:         waves,
+		LoopPositions: loops,
+		Loop:          loopBits,
+		Workers:       []WorkerStats{w.Stats},
+	}
+}

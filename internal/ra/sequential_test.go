@@ -1,0 +1,170 @@
+package ra
+
+import (
+	"testing"
+
+	"retrograde/internal/game"
+	"retrograde/internal/nim"
+	"retrograde/internal/ttt"
+)
+
+// TestSequentialNimMatchesTheory solves several Nim configurations and
+// compares every position's outcome against the closed-form xor rule.
+func TestSequentialNimMatchesTheory(t *testing.T) {
+	for _, hm := range [][2]int{{1, 9}, {2, 6}, {3, 4}, {4, 3}} {
+		g := nim.MustNew(hm[0], hm[1])
+		r := SolveSequential(g)
+		if r.LoopPositions != 0 {
+			t.Errorf("nim %dx%d: %d loop positions in an acyclic game", hm[0], hm[1], r.LoopPositions)
+		}
+		for idx := uint64(0); idx < g.Size(); idx++ {
+			if got, want := game.WDLOutcome(r.Values[idx]), g.TheoryOutcome(idx); got != want {
+				t.Fatalf("nim %dx%d position %v: outcome %v, want %v", hm[0], hm[1], g.Heaps(idx), got, want)
+			}
+		}
+		if err := Audit(g, r); err != nil {
+			t.Errorf("nim %dx%d: %v", hm[0], hm[1], err)
+		}
+	}
+}
+
+// TestSequentialNimDepths checks distance-to-end values on positions with
+// hand-computable depths.
+func TestSequentialNimDepths(t *testing.T) {
+	g := nim.MustNew(2, 5)
+	r := SolveSequential(g)
+	v := func(h ...int) game.Value { return r.Values[g.Index(h)] }
+	// (0,0): terminal loss in 0.
+	if v(0, 0) != game.Loss(0) {
+		t.Errorf("(0,0) = %s", game.WDLString(v(0, 0)))
+	}
+	// (k,0): win in 1 (take the heap).
+	for k := 1; k <= 5; k++ {
+		if v(k, 0) != game.Win(1) {
+			t.Errorf("(%d,0) = %s, want win in 1", k, game.WDLString(v(k, 0)))
+		}
+	}
+	// (1,1): loss in 2 (forced: take one, opponent takes the other).
+	if v(1, 1) != game.Loss(2) {
+		t.Errorf("(1,1) = %s, want loss in 2", game.WDLString(v(1, 1)))
+	}
+	// (2,1): win in 3 (move to (1,1), the unique optimal reply chain).
+	if v(2, 1) != game.Win(3) {
+		t.Errorf("(2,1) = %s, want win in 3", game.WDLString(v(2, 1)))
+	}
+	// (2,2): loser maximises: loss in 4.
+	if v(2, 2) != game.Loss(4) {
+		t.Errorf("(2,2) = %s, want loss in 4", game.WDLString(v(2, 2)))
+	}
+}
+
+// TestSequentialTTTMatchesNegamax compares the full tic-tac-toe database,
+// including depths, against the forward negamax oracle.
+func TestSequentialTTTMatchesNegamax(t *testing.T) {
+	g := ttt.New()
+	r := SolveSequential(g)
+	if r.LoopPositions != 0 {
+		t.Errorf("tictactoe: %d loop positions in an acyclic game", r.LoopPositions)
+	}
+	want := g.SolveAll()
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		if r.Values[idx] != want[idx] {
+			t.Fatalf("position %s: retrograde %s, negamax %s",
+				ttt.Decode(idx), game.WDLString(r.Values[idx]), game.WDLString(want[idx]))
+		}
+	}
+	if err := Audit(g, r); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSequentialStats sanity-checks the work counters on tic-tac-toe.
+func TestSequentialStats(t *testing.T) {
+	g := ttt.New()
+	r := SolveSequential(g)
+	s := r.Totals()
+	if s.Positions != g.Size() {
+		t.Errorf("Positions = %d, want %d", s.Positions, g.Size())
+	}
+	if s.InitFinal == 0 || s.Finalized == 0 {
+		t.Error("no positions finalized at init or by propagation")
+	}
+	if s.InitFinal+s.Finalized+s.LoopResolved != g.Size() {
+		t.Errorf("finalization counts %d+%d+%d do not cover the space %d",
+			s.InitFinal, s.Finalized, s.LoopResolved, g.Size())
+	}
+	if s.UpdatesApplied != s.PredsGenerated {
+		t.Errorf("updates applied %d != predecessor edges %d", s.UpdatesApplied, s.PredsGenerated)
+	}
+	if r.Waves == 0 {
+		t.Error("no propagation waves")
+	}
+	if r.Waves > 10 {
+		t.Errorf("tictactoe took %d waves, expected <= 10 (game length 9)", r.Waves)
+	}
+}
+
+// TestAuditDetectsCorruption flips database entries and checks the audit
+// catches each corruption.
+func TestAuditDetectsCorruption(t *testing.T) {
+	g := nim.MustNew(2, 4)
+	r := SolveSequential(g)
+	if err := Audit(g, r); err != nil {
+		t.Fatalf("clean database failed audit: %v", err)
+	}
+	// Corrupt a terminal.
+	saved := r.Values[0]
+	r.Values[0] = game.Win(1)
+	if Audit(g, r) == nil {
+		t.Error("audit missed corrupted terminal")
+	}
+	r.Values[0] = saved
+	// Corrupt an interior position.
+	idx := g.Index([]int{2, 1})
+	saved = r.Values[idx]
+	r.Values[idx] = game.WDLNegate(saved)
+	if Audit(g, r) == nil {
+		t.Error("audit missed corrupted interior position")
+	}
+	r.Values[idx] = saved
+	// NoValue entries are caught.
+	r.Values[1] = game.NoValue
+	if Audit(g, r) == nil {
+		t.Error("audit missed NoValue entry")
+	}
+}
+
+// TestSequentialNimExactValuesViaNegamax closes the depth gap left by the
+// xor oracle (which checks outcomes only): Nim is acyclic and fully
+// internal, so memoised forward negamax with the same value algebra is an
+// exact oracle for outcomes AND distances.
+func TestSequentialNimExactValuesViaNegamax(t *testing.T) {
+	g := nim.MustNew(3, 4)
+	r := SolveSequential(g)
+	memo := make([]game.Value, g.Size())
+	for i := range memo {
+		memo[i] = game.NoValue
+	}
+	var solve func(idx uint64) game.Value
+	solve = func(idx uint64) game.Value {
+		if memo[idx] != game.NoValue {
+			return memo[idx]
+		}
+		moves := g.Moves(idx, nil)
+		v := game.NoValue
+		if len(moves) == 0 {
+			v = g.TerminalValue(idx)
+		}
+		for _, m := range moves {
+			v = game.BetterOf(g, v, g.MoverValue(solve(m.Child)))
+		}
+		memo[idx] = v
+		return v
+	}
+	for idx := uint64(0); idx < g.Size(); idx++ {
+		if want := solve(idx); r.Values[idx] != want {
+			t.Fatalf("position %v: retrograde %s, negamax %s",
+				g.Heaps(idx), game.WDLString(r.Values[idx]), game.WDLString(want))
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package ra
+
+import (
+	"fmt"
+
+	"retrograde/internal/game"
+)
+
+// Update is one retrograde value message: "position Target's successor has
+// been determined with value Value". The receiver (Target's owner) applies
+// the negamax step, decrements Target's outstanding-successor counter, and
+// may thereby finalize Target. Updates are 10 bytes on the simulated wire
+// (8-byte index + 2-byte value); message combining packs many of them into
+// one network message.
+type Update struct {
+	Target uint64
+	Value  game.Value
+}
+
+// UpdateWireBytes is the size of one update on the simulated network.
+const UpdateWireBytes = 10
+
+// WorkerStats counts the work a shard performed, for load-balance metrics
+// and for charging virtual time in the simulated cluster.
+type WorkerStats struct {
+	Positions      uint64 // positions owned
+	InitFinal      uint64 // positions final directly after initialisation
+	MovesGenerated uint64 // moves enumerated during initialisation
+	Expanded       uint64 // finalized positions whose predecessors were generated
+	PredsGenerated uint64 // predecessor edges generated (updates emitted)
+	UpdatesApplied uint64 // updates applied to owned positions
+	UpdatesStale   uint64 // updates for already-final positions (dropped)
+	Finalized      uint64 // positions finalized by propagation
+	LoopResolved   uint64 // positions resolved by the loop rule
+}
+
+// Worker is the per-shard state machine of retrograde analysis. It holds
+// the shard's slice of the database and implements the two phases of the
+// algorithm: initialisation (forward move generation to count successors
+// and resolve immediate values) and propagation (applying updates from
+// finalized successors). It performs no synchronisation or communication
+// itself — drivers route the updates it emits.
+type Worker struct {
+	g    game.Game
+	part *Partition
+	me   int
+
+	value   []game.Value // current best (final when final bit set)
+	counter []int32      // outstanding internal successors
+	final   []bool
+
+	queue []uint64 // local indices finalized in the previous wave, to expand
+	next  []uint64 // local indices finalized in the current wave
+	loopy []uint64 // local indices resolved by the loop rule
+
+	Stats WorkerStats
+}
+
+// NewWorker creates the shard state for worker me of the partition.
+func NewWorker(g game.Game, part *Partition, me int) *Worker {
+	if me < 0 || me >= part.Workers() {
+		panic(fmt.Sprintf("ra: worker %d out of range [0, %d)", me, part.Workers()))
+	}
+	if part.Size() != g.Size() {
+		panic(fmt.Sprintf("ra: partition size %d != game size %d", part.Size(), g.Size()))
+	}
+	n := part.ShardSize(me)
+	w := &Worker{
+		g:       g,
+		part:    part,
+		me:      me,
+		value:   make([]game.Value, n),
+		counter: make([]int32, n),
+		final:   make([]bool, n),
+	}
+	w.Stats.Positions = n
+	for i := range w.value {
+		w.value[i] = game.NoValue
+	}
+	return w
+}
+
+// ID returns the worker's shard number.
+func (w *Worker) ID() int { return w.me }
+
+// ShardSize returns the number of positions the worker owns.
+func (w *Worker) ShardSize() uint64 { return uint64(len(w.value)) }
+
+// Init runs the initialisation phase over the shard: it enumerates every
+// owned position's moves, records the outstanding-successor counters,
+// resolves positions that are terminal or whose resolved moves already
+// finalize them, and queues those for expansion. It returns the number of
+// positions finalized.
+func (w *Worker) Init() uint64 {
+	var moves []game.Move
+	var finals uint64
+	for local := uint64(0); local < uint64(len(w.value)); local++ {
+		global := w.part.Global(w.me, local)
+		moves = w.g.Moves(global, moves[:0])
+		w.Stats.MovesGenerated += uint64(len(moves))
+		if len(moves) == 0 {
+			w.value[local] = w.g.TerminalValue(global)
+			w.finalize(local)
+			finals++
+			continue
+		}
+		best := game.NoValue
+		internal := int32(0)
+		for _, m := range moves {
+			if m.Internal {
+				internal++
+			} else {
+				best = game.BetterOf(w.g, best, m.Value)
+			}
+		}
+		w.value[local] = best
+		w.counter[local] = internal
+		if internal == 0 || (best != game.NoValue && w.g.Finalizes(best)) {
+			w.finalize(local)
+			finals++
+		}
+	}
+	w.Stats.InitFinal = finals
+	return finals
+}
+
+func (w *Worker) finalize(local uint64) {
+	w.final[local] = true
+	w.next = append(w.next, local)
+}
+
+// Pending returns the number of positions finalized in the current wave
+// and not yet expanded.
+func (w *Worker) Pending() int { return len(w.next) + len(w.queue) }
+
+// BeginWave promotes the positions finalized during the previous wave to
+// the expansion queue of the new wave and returns how many there are.
+func (w *Worker) BeginWave() int {
+	w.queue, w.next = w.next, w.queue[:0]
+	return len(w.queue)
+}
+
+// Refill promotes newly finalized positions into the expansion queue when
+// it has drained — the asynchronous engines' replacement for wave
+// boundaries. It reports whether the queue has work afterwards.
+func (w *Worker) Refill() bool {
+	if len(w.queue) == 0 && len(w.next) > 0 {
+		w.BeginWave()
+	}
+	return len(w.queue) > 0
+}
+
+// Expand pops up to limit finalized positions from the wave queue,
+// generates their predecessors, and emits one update per predecessor edge
+// through emit (including edges whose target the worker itself owns).
+// It returns the number of positions expanded; 0 means the wave queue is
+// empty. limit <= 0 expands the whole queue.
+func (w *Worker) Expand(limit int, emit func(owner int, u Update)) int {
+	if limit <= 0 || limit > len(w.queue) {
+		limit = len(w.queue)
+	}
+	var preds []uint64
+	for i := 0; i < limit; i++ {
+		local := w.queue[i]
+		global := w.part.Global(w.me, local)
+		v := w.value[local]
+		preds = w.g.Predecessors(global, preds[:0])
+		w.Stats.PredsGenerated += uint64(len(preds))
+		for _, q := range preds {
+			emit(w.part.Owner(q), Update{Target: q, Value: v})
+		}
+	}
+	w.queue = w.queue[limit:]
+	w.Stats.Expanded += uint64(limit)
+	return limit
+}
+
+// Apply delivers one update to an owned position. Updates for positions
+// already final are dropped (they are the tail of counter-based
+// propagation after an early cutoff finalized the position).
+func (w *Worker) Apply(u Update) {
+	if w.part.Owner(u.Target) != w.me {
+		panic(fmt.Sprintf("ra: worker %d received update for %d owned by %d", w.me, u.Target, w.part.Owner(u.Target)))
+	}
+	local := w.part.Local(u.Target)
+	w.Stats.UpdatesApplied++
+	if w.final[local] {
+		w.Stats.UpdatesStale++
+		return
+	}
+	w.value[local] = game.BetterOf(w.g, w.value[local], w.g.MoverValue(u.Value))
+	w.counter[local]--
+	if w.counter[local] < 0 {
+		panic(fmt.Sprintf("ra: worker %d position %d received more updates than successors", w.me, u.Target))
+	}
+	if w.counter[local] == 0 || w.g.Finalizes(w.value[local]) {
+		w.finalize(local)
+		w.Stats.Finalized++
+	}
+}
+
+// ResolveLoops assigns values to every still-undetermined position: the
+// better of its best determined alternative and the game's loop value
+// (eternal-play score). Called once, after global propagation quiesces.
+// It returns the number of positions resolved.
+func (w *Worker) ResolveLoops() uint64 {
+	var resolved uint64
+	for local := range w.final {
+		if w.final[local] {
+			continue
+		}
+		global := w.part.Global(w.me, uint64(local))
+		w.value[local] = game.BetterOf(w.g, w.value[local], w.g.LoopValue(global))
+		w.final[local] = true
+		w.loopy = append(w.loopy, uint64(local))
+		resolved++
+	}
+	// Loop-resolved positions are not expanded: their predecessors are
+	// themselves loop positions (anything determinable was determined),
+	// so the next queue is cleared rather than propagated.
+	w.next = w.next[:0]
+	w.Stats.LoopResolved = resolved
+	return resolved
+}
+
+// Value returns the final value of an owned position by global index.
+// It panics if analysis has not finished (position not final).
+func (w *Worker) Value(global uint64) game.Value {
+	local := w.part.Local(global)
+	if !w.final[local] {
+		panic(fmt.Sprintf("ra: position %d not final", global))
+	}
+	return w.value[local]
+}
+
+// Fill copies the shard's values into the full-space destination slice,
+// which must have length Size of the game.
+func (w *Worker) Fill(dst []game.Value) {
+	for local := uint64(0); local < uint64(len(w.value)); local++ {
+		dst[w.part.Global(w.me, local)] = w.value[local]
+	}
+}
+
+// FillLoop sets the bit of every loop-resolved position (global index) in
+// the bitset dst, which must have at least ceil(Size/64) words.
+func (w *Worker) FillLoop(dst []uint64) {
+	for _, local := range w.loopy {
+		global := w.part.Global(w.me, local)
+		dst[global/64] |= 1 << (global % 64)
+	}
+}
+
+// WorkingSetBytes reports the worker's in-memory footprint during
+// analysis: value, counter and final arrays plus current queues. This is
+// the quantity the paper's ">600 MByte on a uniprocessor" claim is about.
+func (w *Worker) WorkingSetBytes() uint64 {
+	n := uint64(len(w.value))
+	return n*2 + n*4 + n + uint64(cap(w.queue)+cap(w.next))*8
+}

@@ -1,0 +1,154 @@
+package ra
+
+import (
+	"testing"
+
+	"retrograde/internal/game"
+	"retrograde/internal/nim"
+	"retrograde/internal/ttt"
+)
+
+func TestNewWorkerValidation(t *testing.T) {
+	g := nim.MustNew(2, 3)
+	part := Cyclic(g.Size(), 2)
+	for _, f := range []func(){
+		func() { NewWorker(g, part, -1) },
+		func() { NewWorker(g, part, 2) },
+		func() { NewWorker(g, Cyclic(g.Size()+1, 2), 0) }, // size mismatch
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	w := NewWorker(g, part, 1)
+	if w.ID() != 1 {
+		t.Errorf("ID() = %d", w.ID())
+	}
+	if w.ShardSize() != part.ShardSize(1) {
+		t.Errorf("ShardSize() = %d", w.ShardSize())
+	}
+}
+
+func TestWorkerInitCounts(t *testing.T) {
+	g := nim.MustNew(2, 3) // 16 positions; only (0,0) is terminal
+	part := Cyclic(g.Size(), 1)
+	w := NewWorker(g, part, 0)
+	finals := w.Init()
+	if finals == 0 {
+		t.Fatal("no positions finalized at init")
+	}
+	if w.Stats.InitFinal != finals {
+		t.Errorf("Stats.InitFinal = %d, want %d", w.Stats.InitFinal, finals)
+	}
+	if w.Stats.MovesGenerated == 0 {
+		t.Error("no moves generated")
+	}
+	if w.Pending() != int(finals) {
+		t.Errorf("Pending() = %d, want %d", w.Pending(), finals)
+	}
+}
+
+func TestWorkerExpandLimit(t *testing.T) {
+	g := ttt.New()
+	part := Cyclic(g.Size(), 1)
+	w := NewWorker(g, part, 0)
+	w.Init()
+	n := w.BeginWave()
+	if n == 0 {
+		t.Fatal("no wave to expand")
+	}
+	var emitted int
+	k := w.Expand(1, func(owner int, u Update) { emitted++ })
+	if k != 1 {
+		t.Fatalf("Expand(1) = %d", k)
+	}
+	// The rest of the queue remains.
+	rest := w.Expand(0, func(owner int, u Update) {})
+	if rest != n-1 {
+		t.Errorf("Expand(0) after Expand(1) = %d, want %d", rest, n-1)
+	}
+	if w.Expand(0, func(owner int, u Update) {}) != 0 {
+		t.Error("Expand on an empty queue did not return 0")
+	}
+}
+
+func TestWorkerApplyPanics(t *testing.T) {
+	g := nim.MustNew(2, 3)
+	part := Cyclic(g.Size(), 2)
+	w := NewWorker(g, part, 0)
+	w.Init()
+	// Update for a position owned by the other shard.
+	defer func() {
+		if recover() == nil {
+			t.Error("Apply for a foreign position did not panic")
+		}
+	}()
+	w.Apply(Update{Target: 1, Value: game.Loss(0)}) // idx 1 belongs to worker 1
+}
+
+func TestWorkerValuePanicsBeforeFinal(t *testing.T) {
+	g := nim.MustNew(2, 3)
+	part := Cyclic(g.Size(), 1)
+	w := NewWorker(g, part, 0)
+	w.Init()
+	// Position (3,3) is not final right after init.
+	idx := g.Index([]int{3, 3})
+	defer func() {
+		if recover() == nil {
+			t.Error("Value of a non-final position did not panic")
+		}
+	}()
+	w.Value(idx)
+}
+
+func TestWorkerWorkingSetBytes(t *testing.T) {
+	g := nim.MustNew(2, 3)
+	part := Cyclic(g.Size(), 1)
+	w := NewWorker(g, part, 0)
+	// 16 positions: 2 + 4 + 1 bytes each at minimum.
+	if ws := w.WorkingSetBytes(); ws < 16*7 {
+		t.Errorf("WorkingSetBytes() = %d, want >= %d", ws, 16*7)
+	}
+}
+
+// TestWorkerShardedEquivalence drives two workers by hand (routing
+// updates between them) and compares against the sequential result —
+// the worker contract the engine drivers rely on, without any driver.
+func TestWorkerShardedEquivalence(t *testing.T) {
+	g := ttt.New()
+	want := SolveSequential(g)
+	part := Cyclic(g.Size(), 2)
+	ws := []*Worker{NewWorker(g, part, 0), NewWorker(g, part, 1)}
+	for _, w := range ws {
+		w.Init()
+	}
+	for {
+		total := 0
+		for _, w := range ws {
+			total += w.BeginWave()
+		}
+		if total == 0 {
+			break
+		}
+		for _, w := range ws {
+			w.Expand(0, func(owner int, u Update) { ws[owner].Apply(u) })
+		}
+	}
+	for _, w := range ws {
+		w.ResolveLoops()
+	}
+	values := make([]game.Value, g.Size())
+	for _, w := range ws {
+		w.Fill(values)
+	}
+	for idx := range want.Values {
+		if values[idx] != want.Values[idx] {
+			t.Fatalf("hand-driven shards differ at %d", idx)
+		}
+	}
+}

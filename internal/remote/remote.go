@@ -1,0 +1,635 @@
+// Package remote runs the paper's parallel retrograde-analysis algorithm
+// over real TCP connections. Where package ra's Distributed engine models
+// a 1995 cluster in virtual time, this engine is the deployable
+// counterpart: worker nodes exchange length-prefixed binary frames over a
+// full mesh of sockets, with message combining batching updates per
+// destination — the algorithm as one would actually ship it.
+//
+// The engine runs its nodes as goroutines inside one process connected
+// over loopback (the wire protocol is process-agnostic; nothing but the
+// bootstrap assumes shared memory). TCP guarantees ordering only per
+// connection, so the wave barrier uses end-of-wave sentinels: a node has
+// seen every wave-w batch once the sentinel of every peer has arrived on
+// its connection, at which point it reports done to the coordinator.
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"retrograde/internal/combine"
+	"retrograde/internal/game"
+	"retrograde/internal/ra"
+)
+
+// Frame types on the wire.
+const (
+	frameBatch byte = iota + 1 // combined updates
+	frameEOW                   // end-of-wave sentinel (per peer connection)
+	frameDone                  // phase completion report to the coordinator
+	frameGo                    // coordinator starts the next phase
+)
+
+// Phases, mirroring the simulated engine's protocol.
+const (
+	phaseExpand byte = iota + 1
+	phaseLoops
+	phaseFinish
+)
+
+// Engine solves games over TCP. It implements ra.Engine.
+type Engine struct {
+	// Workers is the number of nodes; 0 means 4.
+	Workers int
+	// Batch is the combining-buffer size in updates per frame; 0 means
+	// 256, 1 disables combining.
+	Batch int
+	// Group is the block-cyclic partition group size; 0 means 1.
+	Group uint64
+}
+
+func (e Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return 4
+}
+
+func (e Engine) batch() int {
+	if e.Batch > 0 {
+		return e.Batch
+	}
+	return 256
+}
+
+func (e Engine) group() uint64 {
+	if e.Group > 0 {
+		return e.Group
+	}
+	return 1
+}
+
+// Name implements ra.Engine.
+func (e Engine) Name() string {
+	return fmt.Sprintf("tcp(p=%d,batch=%d)", e.workers(), e.batch())
+}
+
+// Report describes the wire traffic of a finished run.
+type Report struct {
+	// Frames and Bytes count everything written to sockets.
+	Frames, Bytes uint64
+	// DataFrames counts update-carrying frames only.
+	DataFrames uint64
+}
+
+// Solve implements ra.Engine.
+func (e Engine) Solve(g game.Game) (*ra.Result, error) {
+	r, _, err := e.SolveDetailed(g)
+	return r, err
+}
+
+// SolveDetailed also returns the traffic report.
+func (e Engine) SolveDetailed(g game.Game) (*ra.Result, *Report, error) {
+	p := e.workers()
+	part, err := ra.NewPartition(g.Size(), p, e.group())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Bootstrap: every node listens on loopback, then the mesh is built
+	// by having node i dial every node j > i; the dialer announces its id
+	// in a one-byte hello.
+	listeners := make([]net.Listener, p)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, fmt.Errorf("remote: listen: %w", err)
+		}
+		listeners[i] = l
+		defer l.Close()
+	}
+	conns := make([][]net.Conn, p)
+	for i := range conns {
+		conns[i] = make([]net.Conn, p)
+	}
+	var bootstrap sync.WaitGroup
+	bootErr := make(chan error, p)
+	for i := 0; i < p; i++ {
+		// Accept connections from all lower-numbered nodes.
+		expect := i
+		bootstrap.Add(1)
+		go func(i, expect int) {
+			defer bootstrap.Done()
+			for k := 0; k < expect; k++ {
+				c, err := listeners[i].Accept()
+				if err != nil {
+					bootErr <- err
+					return
+				}
+				var hello [1]byte
+				if _, err := io.ReadFull(c, hello[:]); err != nil {
+					bootErr <- err
+					return
+				}
+				conns[i][hello[0]] = c
+			}
+		}(i, expect)
+	}
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			c, err := net.Dial("tcp", listeners[j].Addr().String())
+			if err != nil {
+				return nil, nil, fmt.Errorf("remote: dial: %w", err)
+			}
+			if _, err := c.Write([]byte{byte(i)}); err != nil {
+				return nil, nil, err
+			}
+			conns[i][j] = c
+		}
+	}
+	bootstrap.Wait()
+	select {
+	case err := <-bootErr:
+		return nil, nil, fmt.Errorf("remote: bootstrap: %w", err)
+	default:
+	}
+
+	nodes := make([]*node, p)
+	errs := make(chan error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		nodes[i] = newNode(i, g, part, e.batch(), conns[i])
+	}
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			if err := n.run(); err != nil {
+				errs <- fmt.Errorf("remote: node %d: %w", n.id, err)
+			}
+		}(n)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, nil, err
+	}
+
+	values := make([]game.Value, g.Size())
+	loopBits := make([]uint64, (g.Size()+63)/64)
+	stats := make([]ra.WorkerStats, p)
+	var loops uint64
+	var rep Report
+	waves := nodes[0].waves
+	for i, n := range nodes {
+		n.w.Fill(values)
+		n.w.FillLoop(loopBits)
+		stats[i] = n.w.Stats
+		loops += n.w.Stats.LoopResolved
+		rep.Frames += n.framesSent
+		rep.Bytes += n.bytesSent
+		rep.DataFrames += n.dataFrames
+	}
+	return &ra.Result{
+		Values:        values,
+		Waves:         waves,
+		LoopPositions: loops,
+		Loop:          loopBits,
+		Workers:       stats,
+	}, &rep, nil
+}
+
+// event is a decoded frame plus its sender, serialized onto the node's
+// event channel by the per-connection reader goroutines.
+type event struct {
+	from    int
+	kind    byte
+	wave    int
+	phase   byte
+	work    uint64
+	updates []ra.Update
+	err     error
+}
+
+// pending holds traffic that arrived before its wave started on this node.
+type pending struct {
+	batches [][]ra.Update
+	eows    int
+}
+
+type node struct {
+	id      int
+	w       *ra.Worker
+	peers   int
+	conns   []net.Conn
+	writers []*writer
+	events  chan event
+	buf     *combine.Buffer[ra.Update]
+
+	waveNow  int
+	stash    map[int]*pending
+	eows     int  // end-of-wave sentinels seen for waveNow
+	expanded bool // this node finished its own expansion for waveNow
+	work     uint64
+	reported bool
+	finished bool
+	quit     chan struct{}
+
+	// Coordinator state (node 0 only).
+	phaseNow  byte
+	doneCount int
+	doneWork  uint64
+	waves     int
+
+	framesSent, bytesSent, dataFrames uint64
+}
+
+func newNode(id int, g game.Game, part *ra.Partition, batch int, conns []net.Conn) *node {
+	n := &node{
+		id:     id,
+		w:      ra.NewWorker(g, part, id),
+		peers:  len(conns) - 1,
+		conns:  conns,
+		events: make(chan event, 4*len(conns)),
+		stash:  map[int]*pending{},
+		quit:   make(chan struct{}),
+	}
+	n.writers = make([]*writer, len(conns))
+	for j, c := range conns {
+		if c != nil {
+			n.writers[j] = newWriter(c)
+		}
+	}
+	n.buf = combine.MustNew(len(conns), batch, func(dst int, b []ra.Update) {
+		if dst == id {
+			for _, u := range b {
+				n.w.Apply(u)
+			}
+			return
+		}
+		n.sendFrame(dst, encodeBatch(n.waveNow, b))
+		n.dataFrames++
+	})
+	return n
+}
+
+// run is the node's main loop: read events until the finish phase.
+func (n *node) run() error {
+	for j, c := range n.conns {
+		if c == nil {
+			continue
+		}
+		go n.reader(j, c)
+	}
+	defer func() {
+		close(n.quit)
+		for _, w := range n.writers {
+			if w != nil {
+				w.close()
+			}
+		}
+	}()
+
+	// Initialisation, then act as if a wave-0 phase completed.
+	n.w.Init()
+	n.phaseNow = 0
+	n.sendDone(0, 0)
+
+	for !n.finished {
+		ev := <-n.events
+		if ev.err != nil {
+			return ev.err
+		}
+		switch ev.kind {
+		case frameBatch:
+			if ev.wave > n.waveNow {
+				n.pendingFor(ev.wave).batches = append(n.pendingFor(ev.wave).batches, ev.updates)
+				continue
+			}
+			n.applyBatch(ev.updates)
+		case frameEOW:
+			if ev.wave > n.waveNow {
+				n.pendingFor(ev.wave).eows++
+				continue
+			}
+			n.eows++
+			n.maybeReport()
+		case frameDone:
+			n.coordinatorDone(ev.wave, ev.work)
+		case frameGo:
+			if err := n.phase(ev.wave, ev.phase); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (n *node) pendingFor(wave int) *pending {
+	pd := n.stash[wave]
+	if pd == nil {
+		pd = &pending{}
+		n.stash[wave] = pd
+	}
+	return pd
+}
+
+func (n *node) applyBatch(updates []ra.Update) {
+	for _, u := range updates {
+		n.w.Apply(u)
+	}
+}
+
+// phase starts a new phase on this node; phaseFinish sets n.finished.
+func (n *node) phase(wave int, ph byte) error {
+	n.waveNow = wave
+	n.eows = 0
+	n.expanded = false
+	n.reported = false
+	n.work = 0
+	switch ph {
+	case phaseExpand:
+		n.w.BeginWave()
+		if pd := n.stash[wave]; pd != nil {
+			for _, b := range pd.batches {
+				n.applyBatch(b)
+			}
+			n.eows += pd.eows
+			delete(n.stash, wave)
+		}
+		expanded := uint64(0)
+		for {
+			k := n.w.Expand(256, func(owner int, u ra.Update) { n.buf.Add(owner, u) })
+			if k == 0 {
+				break
+			}
+			expanded += uint64(k)
+		}
+		n.buf.FlushAll()
+		// Sentinels: all wave-w batches to each peer precede this marker
+		// on the shared per-pair connection.
+		for j := range n.conns {
+			if j != n.id && n.conns[j] != nil {
+				n.sendFrame(j, encodeCtl(frameEOW, wave, 0, 0))
+			}
+		}
+		n.expanded = true
+		n.work = expanded
+		n.maybeReport()
+	case phaseLoops:
+		resolved := n.w.ResolveLoops()
+		n.expanded = true
+		n.work = resolved
+		n.eows = n.peers // no batches in this phase
+		n.maybeReport()
+	case phaseFinish:
+		n.finished = true
+	default:
+		return fmt.Errorf("unknown phase %d", ph)
+	}
+	return nil
+}
+
+// maybeReport sends the done-report once this node has both finished its
+// own phase work and seen every peer's end-of-wave sentinel (so all
+// batches addressed to it have been applied).
+func (n *node) maybeReport() {
+	if n.reported || !n.expanded || n.eows < n.peers {
+		return
+	}
+	n.reported = true
+	n.sendDone(n.waveNow, n.work)
+}
+
+func (n *node) sendDone(wave int, work uint64) {
+	if n.id == 0 {
+		n.coordinatorDone(wave, work)
+		return
+	}
+	n.sendFrame(0, encodeCtl(frameDone, wave, 0, work))
+}
+
+// coordinatorDone runs on node 0.
+func (n *node) coordinatorDone(wave int, work uint64) {
+	if wave != n.waveNow && !(n.phaseNow == 0 && wave == 0) {
+		// Done reports always follow the go that started their wave.
+		panic(fmt.Sprintf("remote: coordinator got done for wave %d in wave %d", wave, n.waveNow))
+	}
+	n.doneCount++
+	n.doneWork += work
+	if n.doneCount < n.peers+1 {
+		return
+	}
+	workSum := n.doneWork
+	n.doneCount, n.doneWork = 0, 0
+	var next byte
+	switch {
+	case n.phaseNow == 0:
+		next = phaseExpand
+	case n.phaseNow == phaseExpand && workSum > 0:
+		n.waves++
+		next = phaseExpand
+	case n.phaseNow == phaseExpand:
+		next = phaseLoops
+	case n.phaseNow == phaseLoops:
+		next = phaseFinish
+	default:
+		panic("remote: coordinator in unexpected phase")
+	}
+	n.phaseNow = next
+	nextWave := wave + 1
+	for j := range n.conns {
+		if j != n.id && n.conns[j] != nil {
+			n.sendFrame(j, encodeCtl(frameGo, nextWave, next, 0))
+		}
+	}
+	// The coordinator participates too: run its own phase directly (an
+	// event-channel self-send could deadlock when the channel is full).
+	if err := n.phase(nextWave, next); err != nil {
+		panic(err) // unknown phase from our own encoder: unreachable
+	}
+}
+
+func (n *node) sendFrame(dst int, frame []byte) {
+	n.framesSent++
+	n.bytesSent += uint64(len(frame))
+	n.writers[dst].enqueue(frame)
+}
+
+// reader decodes frames from one peer connection onto the event channel.
+func (n *node) reader(from int, c net.Conn) {
+	br := bufio.NewReader(c)
+	for {
+		ev, err := readFrame(br)
+		if err != nil {
+			if err != io.EOF {
+				select {
+				case n.events <- event{err: err}:
+				case <-n.quit:
+				}
+			}
+			return
+		}
+		ev.from = from
+		select {
+		case n.events <- ev:
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+// Wire format: length(4, LE, excluding itself) | type(1) | wave(4) |
+// then per type: batch: count(4) + count*(target 8, value 2);
+// done: work(8); go: phase(1); eow: nothing.
+
+func encodeBatch(wave int, updates []ra.Update) []byte {
+	buf := make([]byte, 4+1+4+4+len(updates)*10)
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	buf[4] = frameBatch
+	binary.LittleEndian.PutUint32(buf[5:], uint32(wave))
+	binary.LittleEndian.PutUint32(buf[9:], uint32(len(updates)))
+	off := 13
+	for _, u := range updates {
+		binary.LittleEndian.PutUint64(buf[off:], u.Target)
+		binary.LittleEndian.PutUint16(buf[off+8:], uint16(u.Value))
+		off += 10
+	}
+	return buf
+}
+
+func encodeCtl(kind byte, wave int, phase byte, work uint64) []byte {
+	var body int
+	switch kind {
+	case frameDone:
+		body = 8
+	case frameGo:
+		body = 1
+	}
+	buf := make([]byte, 4+1+4+body)
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	buf[4] = kind
+	binary.LittleEndian.PutUint32(buf[5:], uint32(wave))
+	switch kind {
+	case frameDone:
+		binary.LittleEndian.PutUint64(buf[9:], work)
+	case frameGo:
+		buf[9] = phase
+	}
+	return buf
+}
+
+func readFrame(r *bufio.Reader) (event, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return event{}, err
+	}
+	size := binary.LittleEndian.Uint32(head[:])
+	if size < 5 || size > 64<<20 {
+		return event{}, fmt.Errorf("remote: implausible frame size %d", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return event{}, err
+	}
+	ev := event{kind: body[0], wave: int(binary.LittleEndian.Uint32(body[1:]))}
+	switch ev.kind {
+	case frameBatch:
+		count := binary.LittleEndian.Uint32(body[5:])
+		if uint32(len(body)) != 9+count*10 {
+			return event{}, fmt.Errorf("remote: batch frame size mismatch")
+		}
+		ev.updates = make([]ra.Update, count)
+		off := 9
+		for i := range ev.updates {
+			ev.updates[i].Target = binary.LittleEndian.Uint64(body[off:])
+			ev.updates[i].Value = game.Value(binary.LittleEndian.Uint16(body[off+8:]))
+			off += 10
+		}
+	case frameDone:
+		if len(body) != 13 {
+			return event{}, fmt.Errorf("remote: done frame size mismatch")
+		}
+		ev.work = binary.LittleEndian.Uint64(body[5:])
+	case frameGo:
+		if len(body) != 6 {
+			return event{}, fmt.Errorf("remote: go frame size mismatch")
+		}
+		ev.phase = body[5]
+	case frameEOW:
+		if len(body) != 5 {
+			return event{}, fmt.Errorf("remote: eow frame size mismatch")
+		}
+	default:
+		return event{}, fmt.Errorf("remote: unknown frame type %d", ev.kind)
+	}
+	return ev, nil
+}
+
+// writer serializes frame writes to one connection through an unbounded
+// queue drained by a dedicated goroutine, so senders never block on slow
+// peers (which could deadlock the mesh).
+type writer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+	conn   net.Conn
+	done   chan struct{}
+}
+
+func newWriter(c net.Conn) *writer {
+	w := &writer{conn: c, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.loop()
+	return w
+}
+
+func (w *writer) enqueue(frame []byte) {
+	w.mu.Lock()
+	if !w.closed {
+		w.queue = append(w.queue, frame)
+	}
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+func (w *writer) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Signal()
+	<-w.done
+	w.conn.Close()
+}
+
+func (w *writer) loop() {
+	defer close(w.done)
+	bw := bufio.NewWriter(w.conn)
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		if len(w.queue) == 0 && w.closed {
+			w.mu.Unlock()
+			bw.Flush()
+			return
+		}
+		batch := w.queue
+		w.queue = nil
+		w.mu.Unlock()
+		for _, frame := range batch {
+			if _, err := bw.Write(frame); err != nil {
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}

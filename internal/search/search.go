@@ -1,0 +1,169 @@
+// Package search is a forward solver for awari that probes the endgame
+// databases — the use the paper's introduction motivates: the databases
+// contain "optimal solutions for part of the search space", and a
+// game-playing program searches forward until every line reaches that
+// part.
+//
+// The searcher is a depth-limited negamax. A line ends by converting into
+// the database (probe), by the game ending (terminal rule), by repeating
+// a position on the current path (scored with the same split convention
+// as the databases), or by exhausting the depth budget. The result is
+// exact when no line was cut off by the budget; if additionally no
+// repetition was scored, the value provably equals the database value the
+// corresponding rung would hold for a propagation-determined position
+// (every encountered position had all its lines converting).
+package search
+
+import (
+	"fmt"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/game"
+	"retrograde/internal/ladder"
+)
+
+// Result is the outcome of a search.
+type Result struct {
+	// Value is the number of stones the player to move captures.
+	Value game.Value
+	// BestMove is the pit to play; -1 when the position is terminal or
+	// was resolved directly from the database.
+	BestMove int
+	// Exact reports that no line was cut off by the depth budget.
+	Exact bool
+	// Nodes is the number of positions visited.
+	Nodes uint64
+	// Probes is the number of database lookups that resolved a line.
+	Probes uint64
+	// Repetitions counts lines closed by the repetition rule.
+	Repetitions uint64
+}
+
+// Searcher solves awari positions by depth-limited negamax with database
+// probes.
+type Searcher struct {
+	l *ladder.Ladder
+	// ProbeLimit: positions with at most this many stones are resolved
+	// from the databases. New sets it to the ladder's maximum rung.
+	ProbeLimit int
+}
+
+// New returns a Searcher over the ladder's databases.
+func New(l *ladder.Ladder) *Searcher {
+	return &Searcher{l: l, ProbeLimit: l.MaxStones()}
+}
+
+// Solve searches the position to the given depth (plies).
+func (s *Searcher) Solve(b awari.Board, depth int) (Result, error) {
+	if s.ProbeLimit > s.l.MaxStones() || s.ProbeLimit < 0 {
+		return Result{}, fmt.Errorf("search: probe limit %d outside the ladder's rungs [0, %d]", s.ProbeLimit, s.l.MaxStones())
+	}
+	if depth < 0 {
+		return Result{}, fmt.Errorf("search: negative depth %d", depth)
+	}
+	ctx := &searchCtx{s: s, path: map[awari.Board]bool{}}
+	res := Result{BestMove: -1}
+
+	n := b.Stones()
+	if n <= s.ProbeLimit {
+		res.Value = s.l.Value(b)
+		res.Exact = true
+		res.Nodes, res.Probes = 1, 1
+		if pit, _, ok := s.l.BestMove(b); ok {
+			res.BestMove = pit
+		}
+		return res, nil
+	}
+
+	rules := s.l.Config().Rules
+	var list [awari.RowSize]int
+	moves := rules.MoveList(b, list[:0])
+	if len(moves) == 0 {
+		res.Value = game.Value(rules.TerminalCapture(b))
+		res.Exact = true
+		res.Nodes = 1
+		return res, nil
+	}
+	ctx.path[b] = true
+	best := game.NoValue
+	exact := true
+	for _, from := range moves {
+		child, _ := rules.Apply(b, from)
+		cv, cexact := ctx.negamax(child, depth-1)
+		mv := game.Value(n) - cv
+		if best == game.NoValue || mv > best {
+			best = mv
+			res.BestMove = from
+		}
+		exact = exact && cexact
+	}
+	res.Value = best
+	res.Exact = exact
+	res.Nodes = ctx.nodes + 1
+	res.Probes = ctx.probes
+	res.Repetitions = ctx.reps
+	return res, nil
+}
+
+type searchCtx struct {
+	s      *Searcher
+	path   map[awari.Board]bool
+	nodes  uint64
+	probes uint64
+	reps   uint64
+}
+
+// negamax returns the mover's capture count for board b and whether the
+// value is exact. The zero-sum identity v(parent) = n - v(child) holds
+// across captures, so no explicit capture accounting is needed.
+func (c *searchCtx) negamax(b awari.Board, depth int) (game.Value, bool) {
+	c.nodes++
+	n := b.Stones()
+	if n <= c.s.ProbeLimit {
+		c.probes++
+		return c.s.l.Value(b), true
+	}
+	if c.path[b] {
+		// Repetition on the current path: score with the database's
+		// split convention.
+		c.reps++
+		return loopValue(c.s.l.Config().Loop, b), true
+	}
+	rules := c.s.l.Config().Rules
+	var list [awari.RowSize]int
+	moves := rules.MoveList(b, list[:0])
+	if len(moves) == 0 {
+		return game.Value(rules.TerminalCapture(b)), true
+	}
+	if depth <= 0 {
+		// Out of budget: evaluate statically with the split convention
+		// (a heuristic estimate, flagged inexact).
+		return loopValue(c.s.l.Config().Loop, b), false
+	}
+	c.path[b] = true
+	best := game.NoValue
+	exact := true
+	for _, from := range moves {
+		child, _ := rules.Apply(b, from)
+		cv, cexact := c.negamax(child, depth-1)
+		mv := game.Value(n) - cv
+		if best == game.NoValue || mv > best {
+			best = mv
+		}
+		exact = exact && cexact
+	}
+	delete(c.path, b)
+	return best, exact
+}
+
+// loopValue mirrors awari.Slice.LoopValue without needing a slice.
+func loopValue(rule awari.LoopRule, b awari.Board) game.Value {
+	switch rule {
+	case awari.LoopEvenSplit:
+		return game.Value(b.Stones() / 2)
+	case awari.LoopZero:
+		return 0
+	default:
+		return game.Value(b.OwnStones())
+	}
+}

@@ -1,0 +1,154 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/ra"
+
+	"retrograde/internal/ladder"
+)
+
+func buildLadder(t *testing.T, stones int) *ladder.Ladder {
+	t.Helper()
+	l, err := ladder.Build(ladder.Config{Rules: awari.Standard, Loop: awari.LoopOwnSide}, stones, ra.Concurrent{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestSolveValidation(t *testing.T) {
+	l := buildLadder(t, 3)
+	s := New(l)
+	s.ProbeLimit = 5
+	if _, err := s.Solve(awari.Board{}, 4); err == nil {
+		t.Error("probe limit above ladder accepted")
+	}
+	s.ProbeLimit = 3
+	if _, err := s.Solve(awari.Board{}, -1); err == nil {
+		t.Error("negative depth accepted")
+	}
+}
+
+// TestProbePath: positions inside the database resolve without search.
+func TestProbePath(t *testing.T) {
+	l := buildLadder(t, 6)
+	s := New(l)
+	sl := l.Slice(6)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		b := sl.Board(rng.Uint64() % sl.Size())
+		res, err := s.Solve(b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact || res.Value != l.Value(b) {
+			t.Fatalf("probe of %v: %+v, database %d", b, res, l.Value(b))
+		}
+		if res.Probes != 1 || res.Nodes != 1 {
+			t.Fatalf("probe stats %+v", res)
+		}
+	}
+}
+
+// TestSearchAboveDatabaseMatchesIt: search 7-stone positions with probes
+// limited to 6 stones, so only non-capturing lines are searched (the
+// search has no memoization, so depth must stay modest). Wherever the
+// search completes without repetitions or depth cutoffs, its value must
+// equal the 7-stone database's.
+func TestSearchAboveDatabaseMatchesIt(t *testing.T) {
+	l := buildLadder(t, 7)
+	s := New(l)
+	s.ProbeLimit = 6
+	sl := l.Slice(7)
+	rng := rand.New(rand.NewSource(6))
+	checked, skipped := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		idx := rng.Uint64() % sl.Size()
+		b := sl.Board(idx)
+		res, err := s.Solve(b, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact || res.Repetitions > 0 {
+			skipped++
+			continue
+		}
+		checked++
+		if res.Value != l.Lookup(7, idx) {
+			t.Fatalf("position %v: search %d, database %d (%+v)", b, res.Value, l.Lookup(7, idx), res)
+		}
+	}
+	if checked == 0 {
+		t.Error("no position was fully resolvable by search; test has no power")
+	}
+	t.Logf("checked %d, skipped %d (cycles/depth)", checked, skipped)
+}
+
+// TestTerminalPositions: terminal boards resolve by the terminal rule.
+func TestTerminalPositions(t *testing.T) {
+	l := buildLadder(t, 4)
+	s := New(l)
+	s.ProbeLimit = 2
+	// Mover starved, 8 stones on the opponent side: mover captures 0.
+	b := awari.Board{0, 0, 0, 0, 0, 0, 4, 4, 0, 0, 0, 0}
+	res, err := s.Solve(b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Value != 0 || res.BestMove != -1 {
+		t.Errorf("terminal result %+v", res)
+	}
+}
+
+// TestDepthZeroAboveDatabase is inexact but bounded by the split rule.
+func TestDepthZeroAboveDatabase(t *testing.T) {
+	l := buildLadder(t, 4)
+	s := New(l)
+	// 8 stones, far above the 4-stone probe limit, depth 0: children are
+	// scored by the split convention and the result is flagged inexact.
+	b := awari.Board{2, 1, 1, 0, 0, 0, 1, 1, 1, 1, 0, 0}
+	res, err := s.Solve(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("depth-1 search above the database claims exactness")
+	}
+	if res.BestMove < 0 || res.BestMove > 5 {
+		t.Errorf("best move %d", res.BestMove)
+	}
+	if int(res.Value) > b.Stones() {
+		t.Errorf("value %d out of range", res.Value)
+	}
+}
+
+// TestBestMoveIsConsistent: the root value equals n minus the searched
+// value of the best move's child.
+func TestBestMoveIsConsistent(t *testing.T) {
+	l := buildLadder(t, 6)
+	s := New(l)
+	s.ProbeLimit = 6
+	// An 8-stone board: one ply reaches 8-stone children (searched),
+	// captures reach the database.
+	b := awari.Board{1, 2, 1, 0, 0, 0, 2, 1, 0, 1, 0, 0}
+	res, err := s.Solve(b, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestMove < 0 {
+		t.Fatal("no best move")
+	}
+	child, _ := awari.Standard.Apply(b, res.BestMove)
+	childRes, err := s.Solve(child, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact && childRes.Exact && res.Repetitions == 0 && childRes.Repetitions == 0 {
+		if int(res.Value) != b.Stones()-int(childRes.Value) {
+			t.Errorf("root %d vs child %d violate zero-sum", res.Value, childRes.Value)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package stats provides the small numeric and reporting helpers shared
+// by the experiment harness: load-balance summaries, human-readable units,
+// and aligned-column tables matching the paper-style reporting of
+// cmd/rabench.
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Balance summarises a per-worker load distribution.
+type Balance struct {
+	Min, Max, Mean float64
+	// Imbalance is Max/Mean: 1.0 is perfect balance; the parallel phase
+	// runs at the speed of the most loaded worker.
+	Imbalance float64
+	// CV is the coefficient of variation (stddev/mean).
+	CV float64
+}
+
+// ComputeBalance summarises the loads. Empty or all-zero input returns a
+// zero Balance.
+func ComputeBalance(loads []float64) Balance {
+	if len(loads) == 0 {
+		return Balance{}
+	}
+	b := Balance{Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, v := range loads {
+		sum += v
+		b.Min = math.Min(b.Min, v)
+		b.Max = math.Max(b.Max, v)
+	}
+	b.Mean = sum / float64(len(loads))
+	if b.Mean == 0 {
+		return Balance{Min: b.Min, Max: b.Max}
+	}
+	var ss float64
+	for _, v := range loads {
+		d := v - b.Mean
+		ss += d * d
+	}
+	b.Imbalance = b.Max / b.Mean
+	b.CV = math.Sqrt(ss/float64(len(loads))) / b.Mean
+	return b
+}
+
+// Bytes renders a byte count in binary units.
+func Bytes(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := uint64(unit), 0
+	for n/div >= unit && exp < 4 {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTP"[exp])
+}
+
+// Count renders a large count with thousands separators.
+func Count(n uint64) string {
+	s := fmt.Sprintf("%d", n)
+	var out strings.Builder
+	for i, r := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out.WriteByte(',')
+		}
+		out.WriteRune(r)
+	}
+	return out.String()
+}
+
+// Table is a paper-style results table: a title, a header row, and
+// left-aligned first column with right-aligned numeric columns.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Note appends a footnote rendered under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table, aligned, to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i == 0 {
+				sb.WriteString(fmt.Sprintf("%-*s", widths[i], cell))
+			} else {
+				sb.WriteString(fmt.Sprintf("%*s", widths[i], cell))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.notes {
+		sb.WriteString("  note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (header row first, notes omitted),
+// for plotting the paper's figures from the regenerated data.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Rows returns the number of data rows (for tests).
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the formatted cell at (row, col) (for tests).
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }

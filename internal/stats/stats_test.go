@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestComputeBalance(t *testing.T) {
+	b := ComputeBalance([]float64{10, 10, 10, 10})
+	if b.Imbalance != 1.0 || b.CV != 0 || b.Mean != 10 {
+		t.Errorf("uniform balance = %+v", b)
+	}
+	b = ComputeBalance([]float64{5, 15})
+	if b.Mean != 10 || b.Imbalance != 1.5 || b.Min != 5 || b.Max != 15 {
+		t.Errorf("skewed balance = %+v", b)
+	}
+	if math.Abs(b.CV-0.5) > 1e-12 {
+		t.Errorf("CV = %v, want 0.5", b.CV)
+	}
+	if got := ComputeBalance(nil); got != (Balance{}) {
+		t.Errorf("empty balance = %+v", got)
+	}
+	z := ComputeBalance([]float64{0, 0})
+	if z.Imbalance != 0 {
+		t.Errorf("all-zero balance = %+v", z)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want string
+	}{
+		{0, "0 B"},
+		{1023, "1023 B"},
+		{1024, "1.0 KiB"},
+		{1536, "1.5 KiB"},
+		{1 << 20, "1.0 MiB"},
+		{600 << 20, "600.0 MiB"},
+		{3 << 30, "3.0 GiB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.n); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{2496144, "2,496,144"},
+		{1234567890, "1,234,567,890"},
+	}
+	for _, c := range cases {
+		if got := Count(c.n); got != c.want {
+			t.Errorf("Count(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T1: sizes", "stones", "positions", "bytes")
+	tb.Row("13", Count(2496144), Bytes(1248072))
+	tb.Row(7, 18564, 3.14159)
+	tb.Note("positions are C(n+11, 11)")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T1: sizes", "stones", "2,496,144", "3.14", "note: positions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows() = %d", tb.Rows())
+	}
+	if tb.Cell(1, 2) != "3.14" {
+		t.Errorf("Cell(1,2) = %q", tb.Cell(1, 2))
+	}
+	// Columns align: header and first data row start at the same offset
+	// for column 2.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("csv", "a", "b")
+	tb.Row(1, "x,y") // comma must be quoted
+	tb.Row(2.5, "z")
+	tb.Note("notes are omitted from CSV")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n2.50,z\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}

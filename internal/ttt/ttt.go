@@ -1,0 +1,282 @@
+// Package ttt implements tic-tac-toe as a game.Game.
+//
+// Tic-tac-toe is the second validation oracle for the retrograde-analysis
+// engines: the game is small enough to solve exhaustively by forward
+// negamax (Solve), so every database entry — outcomes and distances — can
+// be cross-checked. Unlike Nim it has draws and terminal positions of
+// both kinds (wins and full boards), exercising additional engine paths.
+package ttt
+
+import (
+	"fmt"
+	"strings"
+
+	"retrograde/internal/game"
+)
+
+// Cells is the number of board cells.
+const Cells = 9
+
+// Cell contents.
+const (
+	Empty uint8 = 0
+	X     uint8 = 1
+	O     uint8 = 2
+)
+
+// Size is the number of position indices: every assignment of
+// empty/X/O to 9 cells (3^9). Indices that do not correspond to boards
+// reachable in play are "invalid": isolated terminal draws with no
+// predecessors, never referenced from valid positions.
+const Size = 19683 // 3^9
+
+var lines = [8][3]int{
+	{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, // rows
+	{0, 3, 6}, {1, 4, 7}, {2, 5, 8}, // columns
+	{0, 4, 8}, {2, 4, 6}, // diagonals
+}
+
+// Board is a tic-tac-toe position: 9 cells, row-major.
+type Board [Cells]uint8
+
+// Decode converts an index into a Board.
+func Decode(idx uint64) Board {
+	var b Board
+	for i := 0; i < Cells; i++ {
+		b[i] = uint8(idx % 3)
+		idx /= 3
+	}
+	return b
+}
+
+// Encode converts a Board into its index.
+func Encode(b Board) uint64 {
+	var idx uint64
+	for i := Cells - 1; i >= 0; i-- {
+		if b[i] > 2 {
+			panic(fmt.Sprintf("ttt: cell %d holds %d", i, b[i]))
+		}
+		idx = idx*3 + uint64(b[i])
+	}
+	return idx
+}
+
+// String renders the board in three rows using ".", "X", "O".
+func (b Board) String() string {
+	glyph := [3]byte{'.', 'X', 'O'}
+	var sb strings.Builder
+	for r := 0; r < 3; r++ {
+		if r > 0 {
+			sb.WriteByte('/')
+		}
+		for c := 0; c < 3; c++ {
+			sb.WriteByte(glyph[b[3*r+c]])
+		}
+	}
+	return sb.String()
+}
+
+// winner returns X or O if that player has a completed line, else Empty.
+// Boards where both players have lines are invalid and report X.
+func (b Board) winner() uint8 {
+	for _, ln := range lines {
+		if v := b[ln[0]]; v != Empty && v == b[ln[1]] && v == b[ln[2]] {
+			return v
+		}
+	}
+	return Empty
+}
+
+// counts returns the number of X and O marks.
+func (b Board) counts() (x, o int) {
+	for _, c := range b {
+		switch c {
+		case X:
+			x++
+		case O:
+			o++
+		}
+	}
+	return
+}
+
+// mover returns the player to move, assuming a valid board.
+func (b Board) mover() uint8 {
+	x, o := b.counts()
+	if x == o {
+		return X
+	}
+	return O
+}
+
+// Valid reports whether the board can occur with the mover to move in a
+// real game: mark counts alternate correctly, at most one player has a
+// line, and a player with a line must have just moved.
+func (b Board) Valid() bool {
+	x, o := b.counts()
+	if x != o && x != o+1 {
+		return false
+	}
+	xWin, oWin := false, false
+	for _, ln := range lines {
+		if v := b[ln[0]]; v != Empty && v == b[ln[1]] && v == b[ln[2]] {
+			if v == X {
+				xWin = true
+			} else {
+				oWin = true
+			}
+		}
+	}
+	if xWin && oWin {
+		return false
+	}
+	if xWin && x != o+1 {
+		return false // X completed a line, so X moved last
+	}
+	if oWin && x != o {
+		return false // O completed a line, so O moved last
+	}
+	return true
+}
+
+// full reports whether no cell is empty.
+func (b Board) full() bool {
+	for _, c := range b {
+		if c == Empty {
+			return false
+		}
+	}
+	return true
+}
+
+// Game is tic-tac-toe over the full 3^9 index space. Immutable and safe
+// for concurrent use.
+type Game struct{}
+
+// New returns the tic-tac-toe game.
+func New() *Game { return &Game{} }
+
+// Name implements game.Game.
+func (*Game) Name() string { return "tictactoe" }
+
+// Size implements game.Game.
+func (*Game) Size() uint64 { return Size }
+
+// Moves implements game.Game: place the mover's mark in an empty cell.
+// Invalid and finished positions have no moves.
+func (*Game) Moves(idx uint64, buf []game.Move) []game.Move {
+	b := Decode(idx)
+	if !b.Valid() || b.winner() != Empty || b.full() {
+		return buf
+	}
+	mark := b.mover()
+	for i := 0; i < Cells; i++ {
+		if b[i] == Empty {
+			child := b
+			child[i] = mark
+			buf = append(buf, game.Move{Internal: true, Child: Encode(child)})
+		}
+	}
+	return buf
+}
+
+// TerminalValue implements game.Game: a completed opponent line is a loss
+// for the mover; a full board (and any invalid index) is a draw.
+func (*Game) TerminalValue(idx uint64) game.Value {
+	b := Decode(idx)
+	if !b.Valid() {
+		return game.Draw
+	}
+	if w := b.winner(); w != Empty {
+		// A valid board's winner is always the player who just moved.
+		return game.Loss(0)
+	}
+	return game.Draw
+}
+
+// Predecessors implements game.Game: remove one mark of the player who
+// just moved, keeping only boards from which the move was legal (valid,
+// game not yet over).
+func (*Game) Predecessors(idx uint64, buf []uint64) []uint64 {
+	b := Decode(idx)
+	if !b.Valid() {
+		return buf
+	}
+	x, o := b.counts()
+	prev := O
+	if x == o+1 {
+		prev = X
+	}
+	if x == 0 && o == 0 {
+		return buf
+	}
+	for i := 0; i < Cells; i++ {
+		if b[i] != prev {
+			continue
+		}
+		q := b
+		q[i] = Empty
+		if q.Valid() && q.winner() == Empty {
+			buf = append(buf, Encode(q))
+		}
+	}
+	return buf
+}
+
+// MoverValue implements game.Game.
+func (*Game) MoverValue(child game.Value) game.Value { return game.WDLNegate(child) }
+
+// Better implements game.Game.
+func (*Game) Better(a, b game.Value) bool {
+	if b == game.NoValue {
+		return a != game.NoValue
+	}
+	return a != game.NoValue && game.WDLBetter(a, b)
+}
+
+// Finalizes implements game.Game.
+func (*Game) Finalizes(v game.Value) bool { return game.WDLOutcome(v) == game.OutcomeWin }
+
+// LoopValue implements game.Game. Tic-tac-toe is acyclic; never reached.
+func (*Game) LoopValue(uint64) game.Value { return game.Draw }
+
+// ValueBits implements game.Game.
+func (*Game) ValueBits() int { return 16 }
+
+// Solve computes the exact value of idx by forward negamax with
+// memoisation — the oracle the retrograde engines are validated against.
+// The winner minimises and the loser maximises the distance, matching the
+// WDL conventions of package game.
+func (g *Game) Solve(idx uint64) game.Value {
+	memo := make(map[uint64]game.Value)
+	return g.solve(idx, memo)
+}
+
+// SolveAll solves every index with a shared memo table, for exhaustive
+// cross-checks against retrograde analysis.
+func (g *Game) SolveAll() []game.Value {
+	memo := make(map[uint64]game.Value, Size)
+	vals := make([]game.Value, Size)
+	for idx := uint64(0); idx < Size; idx++ {
+		vals[idx] = g.solve(idx, memo)
+	}
+	return vals
+}
+
+func (g *Game) solve(idx uint64, memo map[uint64]game.Value) game.Value {
+	if v, ok := memo[idx]; ok {
+		return v
+	}
+	moves := g.Moves(idx, nil)
+	var v game.Value
+	if len(moves) == 0 {
+		v = g.TerminalValue(idx)
+	} else {
+		v = game.NoValue
+		for _, m := range moves {
+			v = game.BetterOf(g, v, g.MoverValue(g.solve(m.Child, memo)))
+		}
+	}
+	memo[idx] = v
+	return v
+}

@@ -1,0 +1,195 @@
+package ttt
+
+import (
+	"testing"
+
+	"retrograde/internal/game"
+)
+
+// board builds a Board from a 9-character string of ".XO".
+func board(s string) Board {
+	if len(s) != Cells {
+		panic("board string must have 9 cells")
+	}
+	var b Board
+	for i := 0; i < Cells; i++ {
+		switch s[i] {
+		case '.':
+			b[i] = Empty
+		case 'X':
+			b[i] = X
+		case 'O':
+			b[i] = O
+		default:
+			panic("bad cell " + s[i:i+1])
+		}
+	}
+	return b
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for idx := uint64(0); idx < Size; idx++ {
+		if back := Encode(Decode(idx)); back != idx {
+			t.Fatalf("Encode(Decode(%d)) = %d", idx, back)
+		}
+	}
+}
+
+func TestEncodePanicsOnBadCell(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode with bad cell did not panic")
+		}
+	}()
+	Encode(Board{3})
+}
+
+func TestBoardString(t *testing.T) {
+	b := board("X.O.X.O.X")
+	if got := b.String(); got != "X.O/.X./O.X" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		s    string
+		want bool
+	}{
+		{".........", true},
+		{"X........", true},
+		{"XO.......", true},
+		{"XX.......", false}, // X moved twice
+		{"O........", false}, // O moved first
+		{"XXXOO....", true},  // X just won
+		{"XXXOOO...", false}, // both lines / O line with X count wrong
+		{"XXX......", false}, // X won but O never moved enough
+		{"OOOXX....", false}, // O line but equal... O wins needs x==o: 2 X vs 3 O invalid counts
+		{"OOOXX...X", true},  // O just won (3 X, 3 O, O line, x==o)
+		{"XOXOXOXOX", true},  // full board, X wins... diagonal X line, x=5,o=4
+		{"XXXOOOXXX", false}, // two X lines plus O line
+	}
+	for _, c := range cases {
+		if got := board(c.s).Valid(); got != c.want {
+			t.Errorf("Valid(%s) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestMovesFromEmptyBoard(t *testing.T) {
+	g := New()
+	moves := g.Moves(Encode(board(".........")), nil)
+	if len(moves) != 9 {
+		t.Fatalf("empty board has %d moves, want 9", len(moves))
+	}
+	for _, m := range moves {
+		if !m.Internal {
+			t.Fatal("ttt move not internal")
+		}
+		child := Decode(m.Child)
+		x, o := child.counts()
+		if x != 1 || o != 0 {
+			t.Fatalf("child %s after first move", child)
+		}
+	}
+}
+
+func TestNoMovesWhenGameOver(t *testing.T) {
+	g := New()
+	won := board("XXXOO....")
+	if len(g.Moves(Encode(won), nil)) != 0 {
+		t.Error("finished game has moves")
+	}
+	full := board("XOXXOOOXX")
+	if !full.full() {
+		t.Fatal("test board not full")
+	}
+	if full.winner() == Empty && len(g.Moves(Encode(full), nil)) != 0 {
+		t.Error("full board has moves")
+	}
+	invalid := board("XX.......")
+	if len(g.Moves(Encode(invalid), nil)) != 0 {
+		t.Error("invalid board has moves")
+	}
+}
+
+func TestTerminalValue(t *testing.T) {
+	g := New()
+	// O to move facing X's completed line: loss in 0.
+	if v := g.TerminalValue(Encode(board("XXXOO...."))); v != game.Loss(0) {
+		t.Errorf("won board terminal value %s", game.WDLString(v))
+	}
+	// Drawn full board.
+	draw := board("XXOOOXXXO")
+	if draw.winner() != Empty || !draw.full() || !draw.Valid() {
+		t.Fatal("test draw board is wrong")
+	}
+	if v := g.TerminalValue(Encode(draw)); v != game.Draw {
+		t.Errorf("draw board terminal value %s", game.WDLString(v))
+	}
+	// Invalid boards read as draws.
+	if v := g.TerminalValue(Encode(board("XX......."))); v != game.Draw {
+		t.Errorf("invalid board terminal value %s", game.WDLString(v))
+	}
+}
+
+// TestValidate checks the predecessor relation is the exact inverse of
+// move generation over the full index space.
+func TestValidate(t *testing.T) {
+	if err := game.Validate(New()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveKnownPositions(t *testing.T) {
+	g := New()
+	// Perfect play from the empty board is a draw.
+	if v := g.Solve(Encode(board("........."))); v != game.Draw {
+		t.Errorf("empty board solves to %s, want draw", game.WDLString(v))
+	}
+	// X about to complete a line: win in 1.
+	v := g.Solve(Encode(board("XX.OO....")))
+	if game.WDLOutcome(v) != game.OutcomeWin || game.WDLDepth(v) != 1 {
+		t.Errorf("XX.OO.... solves to %s, want win in 1", game.WDLString(v))
+	}
+	// Double threat for X to move: X plays corner... position X.X/.O./O.. with X to move:
+	// x=2, o=2: X to move, plays cell 1 to win immediately.
+	v = g.Solve(Encode(board("X.X.O.O..")))
+	if game.WDLOutcome(v) != game.OutcomeWin || game.WDLDepth(v) != 1 {
+		t.Errorf("X.X.O.O.. solves to %s, want win in 1", game.WDLString(v))
+	}
+}
+
+func TestSolveAllAgreesWithSolve(t *testing.T) {
+	g := New()
+	all := g.SolveAll()
+	for _, s := range []string{".........", "X........", "XO.......", "XX.OO...."} {
+		idx := Encode(board(s))
+		if all[idx] != g.Solve(idx) {
+			t.Errorf("SolveAll and Solve disagree on %s", s)
+		}
+	}
+	if len(all) != Size {
+		t.Fatalf("SolveAll returned %d values", len(all))
+	}
+}
+
+func TestFirstMoveValuesAreNotLosses(t *testing.T) {
+	// Tic-tac-toe from empty is a draw; therefore no first move loses
+	// for X if X plays center/corner, and at least one move draws.
+	g := New()
+	moves := g.Moves(Encode(board(".........")), nil)
+	drawn := 0
+	for _, m := range moves {
+		v := g.MoverValue(g.Solve(m.Child))
+		if game.WDLOutcome(v) == game.OutcomeWin {
+			t.Errorf("first move to %s claims a forced win", Decode(m.Child))
+		}
+		if game.WDLOutcome(v) == game.OutcomeDraw {
+			drawn++
+		}
+	}
+	if drawn == 0 {
+		t.Error("no drawing first move found")
+	}
+}

@@ -1,0 +1,129 @@
+package retrograde_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"retrograde"
+)
+
+// TestPublicAPIQuickstart exercises the documented quickstart end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := retrograde.LadderConfig{Rules: retrograde.StandardRules, Loop: retrograde.LoopOwnSide}
+	l, err := retrograde.BuildLadder(cfg, 6, retrograde.Sequential{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	board := retrograde.Board{0, 0, 0, 0, 2, 1, 1, 0, 0, 0, 0, 2}
+	pit, value, ok := l.BestMove(board)
+	if !ok {
+		t.Fatal("BestMove reported terminal")
+	}
+	if pit < 0 || pit > 5 {
+		t.Errorf("pit = %d", pit)
+	}
+	if int(value) > board.Stones() {
+		t.Errorf("value %d exceeds stones on board", value)
+	}
+}
+
+func TestPublicSolveAndAudit(t *testing.T) {
+	cfg := retrograde.LadderConfig{Rules: retrograde.StandardRules, Loop: retrograde.LoopOwnSide}
+	l, err := retrograde.BuildLadder(cfg, 4, retrograde.Concurrent{Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice := l.Slice(4)
+	r, err := retrograde.Solve(slice, retrograde.Distributed{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := retrograde.Audit(slice, r); err != nil {
+		t.Error(err)
+	}
+	if r.Sim == nil || r.Sim.Duration <= 0 {
+		t.Error("distributed result lacks a simulation report")
+	}
+}
+
+func TestPublicPackAndLoad(t *testing.T) {
+	cfg := retrograde.LadderConfig{Rules: retrograde.StandardRules, Loop: retrograde.LoopOwnSide}
+	l, err := retrograde.BuildLadder(cfg, 3, retrograde.Sequential{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice := l.Slice(3)
+	tab, err := retrograde.PackResult(slice, l.Result(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "awari-3.radb")
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := retrograde.LoadTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < back.Size(); i++ {
+		if back.Get(i) != l.Result(3).Values[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestAwariSize(t *testing.T) {
+	if retrograde.AwariSize(13) != 2496144 {
+		t.Error("AwariSize(13) wrong")
+	}
+}
+
+func TestPublicTCPEngine(t *testing.T) {
+	cfg := retrograde.LadderConfig{Rules: retrograde.StandardRules, Loop: retrograde.LoopOwnSide}
+	l, err := retrograde.BuildLadder(cfg, 4, retrograde.TCP{Workers: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := retrograde.BuildLadder(cfg, 4, retrograde.Sequential{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= 4; n++ {
+		a, b := l.Result(n).Values, want.Result(n).Values
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("rung %d differs at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestPublicKRK(t *testing.T) {
+	g, err := retrograde.NewKRK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := retrograde.Solve(g, retrograde.Concurrent{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := retrograde.Audit(g, r); err != nil {
+		t.Error(err)
+	}
+	if _, err := retrograde.NewKRK(3); err == nil {
+		t.Error("NewKRK(3) succeeded")
+	}
+}
+
+func TestPublicRefine(t *testing.T) {
+	cfg := retrograde.LadderConfig{Rules: retrograde.StandardRules, Loop: retrograde.LoopOwnSide, Refine: true}
+	l, err := retrograde.BuildLadder(cfg, 5, retrograde.Sequential{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= 5; n++ {
+		if err := retrograde.AuditRefined(l.Slice(n), l.Result(n)); err != nil {
+			t.Errorf("rung %d: %v", n, err)
+		}
+	}
+}
