@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -62,8 +63,13 @@ func run() error {
 	} else {
 		tables := make([]*db.Table, stones+1)
 		for n := 0; n <= stones; n++ {
-			t, err := db.Load(filepath.Join(*dir, fmt.Sprintf("awari-%d.radb", n)))
+			path := filepath.Join(*dir, fmt.Sprintf("awari-%d.radb", n))
+			t, err := db.Load(path)
 			if err != nil {
+				if errors.Is(err, os.ErrNotExist) {
+					return fmt.Errorf("the %d-stone rung is missing (%s does not exist; the board needs rungs 0..%d).\nBuild the ladder with:\n  rabuild -stones %d -out %s",
+						n, path, stones, stones, *dir)
+				}
 				return fmt.Errorf("loading the %d-stone database: %w", n, err)
 			}
 			if t.Size() != awari.Size(n) {
@@ -77,11 +83,9 @@ func run() error {
 	cur := board
 	for ply := 0; ; ply++ {
 		n := cur.Stones()
-		slice := awari.MustSlice(rules, awari.LoopOwnSide, n, lookup)
-		idx := slice.Index(cur)
-		v := lookup(n, idx)
+		v := lookup(n, awari.Rank(cur))
 		note := ""
-		if _, bv, ok := bestMove(rules, slice, lookup, cur); ok && bv != v {
+		if _, bv, ok := awari.BestMove(rules, cur, lookup); ok && bv != v {
 			// The database value of a cycle position reflects the
 			// repetition split, not a conversion any single move forces.
 			note = fmt.Sprintf("  [cycle-valued: best conversion %d]", bv)
@@ -89,7 +93,7 @@ func run() error {
 		fmt.Printf("ply %2d  %v  stones=%2d  value=%d (mover captures %d of %d)%s\n", ply, cur, n, v, v, n, note)
 		if ply >= *line {
 			if *line == 0 {
-				pit, mv, ok := bestMove(rules, slice, lookup, cur)
+				pit, mv, ok := awari.BestMove(rules, cur, lookup)
 				if ok {
 					fmt.Printf("best move: pit %d (worth %d)\n", pit, mv)
 				} else {
@@ -98,7 +102,7 @@ func run() error {
 			}
 			return nil
 		}
-		pit, _, ok := bestMove(rules, slice, lookup, cur)
+		pit, _, ok := awari.BestMove(rules, cur, lookup)
 		if !ok {
 			fmt.Println("terminal position reached")
 			return nil
@@ -107,33 +111,4 @@ func run() error {
 		fmt.Printf("        plays pit %d, captures %d\n", pit, captured)
 		cur = child
 	}
-}
-
-func bestMove(rules awari.Rules, slice *awari.Slice, lookup awari.Lookup, b awari.Board) (pit int, value game.Value, ok bool) {
-	var list [awari.RowSize]int
-	moves := rules.MoveList(b, list[:0])
-	if len(moves) == 0 {
-		return 0, 0, false
-	}
-	n := b.Stones()
-	best := game.NoValue
-	bestPit := -1
-	for _, from := range moves {
-		child, captured := rules.Apply(b, from)
-		var mv game.Value
-		if captured == 0 {
-			mv = game.Value(n) - lookup(n, slice.Index(child))
-		} else {
-			rest := n - captured
-			var pits [awari.Pits]int
-			for i, c := range child {
-				pits[i] = int(c)
-			}
-			mv = game.Value(n) - lookup(rest, awari.Space(rest).Rank(pits[:]))
-		}
-		if best == game.NoValue || mv > best {
-			best, bestPit = mv, from
-		}
-	}
-	return bestPit, best, true
 }

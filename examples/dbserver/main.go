@@ -1,0 +1,102 @@
+// Dbserver: the full build → serve → query loop. A ladder of awari
+// databases is built and saved to disk, a query server starts over the
+// directory, and a client asks it for values, best moves, and optimal
+// lines over the binary protocol — then the same position over plain
+// HTTP. This is the library's answer to the paper's motivation: the
+// databases are computed once, then serve a game-playing program — here
+// over the network, from a machine with the memory to hold them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"retrograde"
+)
+
+func main() {
+	stones := flag.Int("stones", 6, "build databases for 0..stones stones")
+	flag.Parse()
+
+	// Build the ladder and save each rung as an awari-<n>.radb shard.
+	dir, err := os.MkdirTemp("", "dbserver")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := retrograde.LadderConfig{
+		Rules: retrograde.StandardRules,
+		Loop:  retrograde.LoopOwnSide,
+	}
+	l, err := retrograde.BuildLadder(cfg, *stones, retrograde.Concurrent{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for n := 0; n <= l.MaxStones(); n++ {
+		tab, err := retrograde.PackResult(l.Slice(n), l.Result(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tab.Save(filepath.Join(dir, tab.Name()+".radb")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("built and saved databases for 0..%d stones\n", l.MaxStones())
+
+	// Serve them. The budget is deliberately tiny so the shard cache
+	// loads and evicts rungs on demand instead of holding them all.
+	s, err := retrograde.StartDBServer("127.0.0.1:0", retrograde.DBServerConfig{
+		Dir:       dir,
+		Rules:     retrograde.StandardRules,
+		MemBudget: 1 << 16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	fmt.Printf("serving on %s\n\n", s.Addr())
+
+	// Query over the binary protocol.
+	c, err := retrograde.DialDBServer(s.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	board := retrograde.Board{0, 0, 0, 0, 2, 1, 1, 0, 0, 0, 0, 1}
+	v, err := c.Value(board)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pit, _, err := c.BestMove(board)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, line, err := c.Line(board, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("position %v (%d stones)\n", board, board.Stones())
+	fmt.Printf("  value: mover captures %d of %d\n", v, board.Stones())
+	fmt.Printf("  best move: pit %d\n", pit)
+	fmt.Printf("  optimal line: %v\n\n", line)
+
+	// The same listener answers HTTP.
+	for _, path := range []string{
+		"/value?board=0,0,0,0,2,1,1,0,0,0,0,1",
+		"/stats",
+	} {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("GET %s\n%s\n", path, body)
+	}
+}

@@ -163,6 +163,38 @@ func intPits(b Board) []int {
 	return pits
 }
 
+// Rank returns the board's position index within the space of its stone
+// count: Space(b.Stones()).Rank of the pit counts.
+func Rank(b Board) uint64 {
+	var pits [Pits]int
+	for i, c := range b {
+		pits[i] = int(c)
+	}
+	return Space(b.Stones()).Rank(pits[:])
+}
+
+// BestMove returns the best move of b under rules and its value for the
+// mover, resolving children through lookup (which must cover rungs
+// 0..b.Stones()). ok is false for positions without a legal move.
+func BestMove(rules Rules, b Board, lookup Lookup) (pit int, value game.Value, ok bool) {
+	var list [RowSize]int
+	moves := rules.MoveList(b, list[:0])
+	if len(moves) == 0 {
+		return 0, 0, false
+	}
+	n := b.Stones()
+	best := game.NoValue
+	bestPit := -1
+	for _, from := range moves {
+		child, captured := rules.Apply(b, from)
+		mv := game.Value(n) - lookup(n-captured, Rank(child))
+		if best == game.NoValue || mv > best {
+			best, bestPit = mv, from
+		}
+	}
+	return bestPit, best, true
+}
+
 // TerminalValue implements game.Game.
 func (s *Slice) TerminalValue(idx uint64) game.Value {
 	return game.Value(s.rules.TerminalCapture(s.Board(idx)))

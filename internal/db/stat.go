@@ -1,0 +1,108 @@
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"retrograde/internal/index"
+)
+
+// Info describes a stored table without its values — everything a server
+// needs to budget memory and plan loads before touching the words.
+type Info struct {
+	// Name is the table's embedded identifier (usually the game name).
+	Name string
+	// Entries is the number of values.
+	Entries uint64
+	// Bits is the entry width.
+	Bits int
+	// Bytes is the packed in-memory size of the value words.
+	Bytes uint64
+}
+
+// FamilyInfo describes a stored family without its values.
+type FamilyInfo struct {
+	Info
+	// Pits is the board's pit count.
+	Pits int
+	// MaxTotal is the largest rung stored.
+	MaxTotal int
+}
+
+// Stat reads a .radb file's header only — no value words are loaded, so
+// it is cheap enough to run over a whole database directory. The file's
+// checksum is not verified (that happens on Load).
+func Stat(path string) (Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Info{}, err
+	}
+	defer f.Close()
+	return readInfo(bufio.NewReader(f))
+}
+
+// StatFamily reads a .rafy file's headers only, like Stat.
+func StatFamily(path string) (FamilyInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FamilyInfo{}, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return FamilyInfo{}, fmt.Errorf("db: reading family header: %w", err)
+	}
+	if string(hdr[:4]) != familyMagic {
+		return FamilyInfo{}, fmt.Errorf("db: bad family magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != familyVersion {
+		return FamilyInfo{}, fmt.Errorf("db: unsupported family version %d", v)
+	}
+	fi := FamilyInfo{
+		Pits:     int(binary.LittleEndian.Uint32(hdr[8:])),
+		MaxTotal: int(binary.LittleEndian.Uint32(hdr[12:])),
+	}
+	cs, err := index.NewCumulativeSpace(fi.Pits, fi.MaxTotal)
+	if err != nil {
+		return FamilyInfo{}, err
+	}
+	if fi.Info, err = readInfo(br); err != nil {
+		return FamilyInfo{}, err
+	}
+	if fi.Entries != cs.Size() {
+		return FamilyInfo{}, fmt.Errorf("db: family table holds %d entries, want %d", fi.Entries, cs.Size())
+	}
+	return fi, nil
+}
+
+// readInfo parses a table header from r, mirroring Read's validation.
+func readInfo(r io.Reader) (Info, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Info{}, fmt.Errorf("db: reading header: %w", err)
+	}
+	if string(hdr[:4]) != fileMagic {
+		return Info{}, fmt.Errorf("db: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != fileVersion {
+		return Info{}, fmt.Errorf("db: unsupported version %d", v)
+	}
+	bits := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if bits < 1 || bits > MaxValueBits {
+		return Info{}, fmt.Errorf("db: value bits %d out of range [1, %d]", bits, MaxValueBits)
+	}
+	nameLen := binary.LittleEndian.Uint32(hdr[12:])
+	if nameLen > 4096 {
+		return Info{}, fmt.Errorf("db: implausible name length %d", nameLen)
+	}
+	size := binary.LittleEndian.Uint64(hdr[16:])
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return Info{}, fmt.Errorf("db: reading name: %w", err)
+	}
+	return Info{Name: string(name), Entries: size, Bits: bits, Bytes: PackedBytes(size, bits)}, nil
+}

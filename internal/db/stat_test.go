@@ -1,0 +1,69 @@
+package db
+
+import (
+	"path/filepath"
+	"testing"
+
+	"retrograde/internal/game"
+	"retrograde/internal/index"
+)
+
+func TestStat(t *testing.T) {
+	dir := t.TempDir()
+	values := make([]game.Value, 1000)
+	for i := range values {
+		values[i] = game.Value(i % 13)
+	}
+	tab, err := Pack("stat-test", 4, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "stat-test.radb")
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "stat-test" || info.Entries != 1000 || info.Bits != 4 {
+		t.Errorf("Stat = %+v, want name stat-test, 1000 entries, 4 bits", info)
+	}
+	if info.Bytes != tab.Bytes() {
+		t.Errorf("Stat bytes = %d, loaded table holds %d", info.Bytes, tab.Bytes())
+	}
+}
+
+func TestStatFamily(t *testing.T) {
+	dir := t.TempDir()
+	fam, err := PackFamily("fam", 3, 4, 3, func(total int) []game.Value {
+		vs := make([]game.Value, index.MustSpace(3, total).Size())
+		for i := range vs {
+			vs[i] = game.Value(total)
+		}
+		return vs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fam.rafy")
+	if err := fam.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := StatFamily(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Pits != 3 || info.MaxTotal != 4 {
+		t.Errorf("StatFamily = %+v, want 3 pits up to 4 stones", info)
+	}
+	if info.Bytes != fam.Bytes() {
+		t.Errorf("StatFamily bytes = %d, loaded family holds %d", info.Bytes, fam.Bytes())
+	}
+}
+
+func TestStatMissing(t *testing.T) {
+	if _, err := Stat(filepath.Join(t.TempDir(), "nope.radb")); err == nil {
+		t.Error("Stat of a missing file succeeded")
+	}
+}

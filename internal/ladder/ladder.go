@@ -115,41 +115,11 @@ func (l *Ladder) BestMove(b awari.Board) (pit int, value game.Value, ok bool) {
 	if n > l.MaxStones() {
 		panic(fmt.Sprintf("ladder: board has %d stones, ladder only reaches %d", n, l.MaxStones()))
 	}
-	slice := l.Slice(n)
-	var list [awari.RowSize]int
-	moves := l.cfg.Rules.MoveList(b, list[:0])
-	if len(moves) == 0 {
-		return 0, 0, false
-	}
-	best := game.NoValue
-	bestPit := -1
-	for _, from := range moves {
-		child, captured := l.cfg.Rules.Apply(b, from)
-		var mv game.Value
-		if captured == 0 {
-			mv = slice.MoverValue(l.Lookup(n, slice.Index(child)))
-		} else {
-			rest := n - captured
-			mv = game.Value(n) - l.Lookup(rest, awari.Space(rest).Rank(boardPits(child)))
-		}
-		if best == game.NoValue || slice.Better(mv, best) {
-			best, bestPit = mv, from
-		}
-	}
-	return bestPit, best, true
-}
-
-func boardPits(b awari.Board) []int {
-	pits := make([]int, awari.Pits)
-	for i, c := range b {
-		pits[i] = int(c)
-	}
-	return pits
+	return awari.BestMove(l.cfg.Rules, b, l.Lookup)
 }
 
 // Value returns the database value of a board (any stone total within the
 // ladder).
 func (l *Ladder) Value(b awari.Board) game.Value {
-	n := b.Stones()
-	return l.Lookup(n, awari.Space(n).Rank(boardPits(b)))
+	return l.Lookup(b.Stones(), awari.Rank(b))
 }

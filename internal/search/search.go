@@ -39,10 +39,24 @@ type Result struct {
 	Repetitions uint64
 }
 
+// Prober resolves positions at or below the probe limit — a local
+// ladder, or a remote database server through its client library.
+// *ladder.Ladder satisfies it directly.
+type Prober interface {
+	// Value returns the database value of a board within the databases.
+	Value(b awari.Board) game.Value
+	// BestMove returns the best move and its value; ok is false for
+	// terminal positions.
+	BestMove(b awari.Board) (pit int, value game.Value, ok bool)
+}
+
 // Searcher solves awari positions by depth-limited negamax with database
 // probes.
 type Searcher struct {
-	l *ladder.Ladder
+	p     Prober
+	rules awari.Rules
+	loop  awari.LoopRule
+	maxN  int
 	// ProbeLimit: positions with at most this many stones are resolved
 	// from the databases. New sets it to the ladder's maximum rung.
 	ProbeLimit int
@@ -50,13 +64,21 @@ type Searcher struct {
 
 // New returns a Searcher over the ladder's databases.
 func New(l *ladder.Ladder) *Searcher {
-	return &Searcher{l: l, ProbeLimit: l.MaxStones()}
+	cfg := l.Config()
+	return NewProber(l, cfg.Rules, cfg.Loop, l.MaxStones())
+}
+
+// NewProber returns a Searcher over an arbitrary prober covering boards
+// of up to probeLimit stones, built with the given rules and loop
+// convention (which score repetitions and depth cutoffs).
+func NewProber(p Prober, rules awari.Rules, loop awari.LoopRule, probeLimit int) *Searcher {
+	return &Searcher{p: p, rules: rules, loop: loop, maxN: probeLimit, ProbeLimit: probeLimit}
 }
 
 // Solve searches the position to the given depth (plies).
 func (s *Searcher) Solve(b awari.Board, depth int) (Result, error) {
-	if s.ProbeLimit > s.l.MaxStones() || s.ProbeLimit < 0 {
-		return Result{}, fmt.Errorf("search: probe limit %d outside the ladder's rungs [0, %d]", s.ProbeLimit, s.l.MaxStones())
+	if s.ProbeLimit > s.maxN || s.ProbeLimit < 0 {
+		return Result{}, fmt.Errorf("search: probe limit %d outside the databases' rungs [0, %d]", s.ProbeLimit, s.maxN)
 	}
 	if depth < 0 {
 		return Result{}, fmt.Errorf("search: negative depth %d", depth)
@@ -66,16 +88,16 @@ func (s *Searcher) Solve(b awari.Board, depth int) (Result, error) {
 
 	n := b.Stones()
 	if n <= s.ProbeLimit {
-		res.Value = s.l.Value(b)
+		res.Value = s.p.Value(b)
 		res.Exact = true
 		res.Nodes, res.Probes = 1, 1
-		if pit, _, ok := s.l.BestMove(b); ok {
+		if pit, _, ok := s.p.BestMove(b); ok {
 			res.BestMove = pit
 		}
 		return res, nil
 	}
 
-	rules := s.l.Config().Rules
+	rules := s.rules
 	var list [awari.RowSize]int
 	moves := rules.MoveList(b, list[:0])
 	if len(moves) == 0 {
@@ -121,15 +143,15 @@ func (c *searchCtx) negamax(b awari.Board, depth int) (game.Value, bool) {
 	n := b.Stones()
 	if n <= c.s.ProbeLimit {
 		c.probes++
-		return c.s.l.Value(b), true
+		return c.s.p.Value(b), true
 	}
 	if c.path[b] {
 		// Repetition on the current path: score with the database's
 		// split convention.
 		c.reps++
-		return loopValue(c.s.l.Config().Loop, b), true
+		return loopValue(c.s.loop, b), true
 	}
-	rules := c.s.l.Config().Rules
+	rules := c.s.rules
 	var list [awari.RowSize]int
 	moves := rules.MoveList(b, list[:0])
 	if len(moves) == 0 {
@@ -138,7 +160,7 @@ func (c *searchCtx) negamax(b awari.Board, depth int) (game.Value, bool) {
 	if depth <= 0 {
 		// Out of budget: evaluate statically with the split convention
 		// (a heuristic estimate, flagged inexact).
-		return loopValue(c.s.l.Config().Loop, b), false
+		return loopValue(c.s.loop, b), false
 	}
 	c.path[b] = true
 	best := game.NoValue

@@ -1,0 +1,361 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/db"
+	"retrograde/internal/game"
+)
+
+// Shard kinds.
+const (
+	kindTable  byte = iota // a single .radb table
+	kindFamily             // a .rafy family (a whole mancala ladder)
+)
+
+// entry is one discovered shard. Refcounts, state and counters are
+// protected by the cache mutex; the loaded table is immutable once
+// published, so queries read it without any lock.
+type entry struct {
+	key  string
+	path string
+	kind byte
+
+	// Header metadata, known before any load (db.Stat).
+	entries uint64
+	bits    int
+	bytes   uint64
+	pits    int // families only
+	maxT    int // families only
+
+	// Mutable, under Cache.mu.
+	refs    int
+	loading chan struct{} // non-nil while a load is in flight
+	table   *db.Table
+	fam     *db.Family
+	lruEl   *list.Element // non-nil while loaded
+
+	hits, misses, loads, evictions uint64
+}
+
+func (e *entry) loaded() bool { return e.table != nil || e.fam != nil }
+
+// ShardInfo is a point-in-time snapshot of one shard, for /stats.
+type ShardInfo struct {
+	Key     string
+	Kind    string
+	Entries uint64
+	Bits    int
+	Bytes   uint64
+	Loaded  bool
+	Pinned  int
+	Hits    uint64
+	Misses  uint64
+	Loads   uint64
+	Evicts  uint64
+}
+
+// Cache is the shard registry: databases discovered on disk, loaded on
+// demand, and evicted LRU under a memory budget. Pinned shards (those
+// with in-flight queries) are never evicted; they may push usage over
+// the budget, which the next release corrects.
+type Cache struct {
+	budget uint64 // 0 = unlimited
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used; loaded entries only
+	used    uint64
+
+	awariMax    int    // rungs 0..awariMax are contiguously on disk (-1: none)
+	awariFamily string // key of an awari .rafy family, if discovered
+	awariFamMax int
+}
+
+// NewCache scans dir for *.radb and *.rafy shards (headers only — no
+// values are loaded) and returns a cache bounded by budget bytes of
+// packed table data (0 = unlimited).
+func NewCache(dir string, budget uint64) (*Cache, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		budget:      budget,
+		entries:     map[string]*entry{},
+		lru:         list.New(),
+		awariMax:    -1,
+		awariFamMax: -1,
+	}
+	rungs := map[int]bool{}
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		path := filepath.Join(dir, name)
+		switch {
+		case strings.HasSuffix(name, ".radb"):
+			info, err := db.Stat(path)
+			if err != nil {
+				return nil, fmt.Errorf("server: %s: %w", name, err)
+			}
+			key := strings.TrimSuffix(name, ".radb")
+			c.entries[key] = &entry{
+				key: key, path: path, kind: kindTable,
+				entries: info.Entries, bits: info.Bits, bytes: info.Bytes,
+			}
+			if n, ok := awariRung(key); ok && info.Entries == awari.Size(n) {
+				rungs[n] = true
+			}
+		case strings.HasSuffix(name, ".rafy"):
+			info, err := db.StatFamily(path)
+			if err != nil {
+				return nil, fmt.Errorf("server: %s: %w", name, err)
+			}
+			key := strings.TrimSuffix(name, ".rafy")
+			c.entries[key] = &entry{
+				key: key, path: path, kind: kindFamily,
+				entries: info.Entries, bits: info.Bits, bytes: info.Bytes,
+				pits: info.Pits, maxT: info.MaxTotal,
+			}
+			if info.Pits == awari.Pits && (c.awariFamily == "" || info.MaxTotal > c.awariFamMax) {
+				c.awariFamily, c.awariFamMax = key, info.MaxTotal
+			}
+		}
+	}
+	for rungs[c.awariMax+1] {
+		c.awariMax++
+	}
+	return c, nil
+}
+
+// awariRung reports whether key names an awari ladder rung.
+func awariRung(key string) (int, bool) {
+	rest, ok := strings.CutPrefix(key, "awari-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 || n > awari.MaxStones {
+		return 0, false
+	}
+	return n, true
+}
+
+// AwariMax returns the largest stone count n such that every rung 0..n
+// is answerable — through a family file or contiguous per-rung tables.
+// -1 means no awari databases were discovered.
+func (c *Cache) AwariMax() int {
+	if c.awariFamMax > c.awariMax {
+		return c.awariFamMax
+	}
+	return c.awariMax
+}
+
+// Budget returns the configured memory budget (0 = unlimited).
+func (c *Cache) Budget() uint64 { return c.budget }
+
+// Used returns the bytes of currently loaded shards.
+func (c *Cache) Used() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Keys returns all discovered shard keys, sorted.
+func (c *Cache) Keys() []string {
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot returns per-shard statistics, sorted by key.
+func (c *Cache) Snapshot() []ShardInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ShardInfo, 0, len(c.entries))
+	for _, e := range c.entries {
+		kind := "table"
+		if e.kind == kindFamily {
+			kind = "family"
+		}
+		out = append(out, ShardInfo{
+			Key: e.key, Kind: kind, Entries: e.entries, Bits: e.bits,
+			Bytes: e.bytes, Loaded: e.loaded(), Pinned: e.refs,
+			Hits: e.hits, Misses: e.misses, Loads: e.loads, Evicts: e.evictions,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Pin is a loaded, reference-counted shard handle. Release it when the
+// query is answered; until then the shard cannot be evicted.
+type Pin struct {
+	c *Cache
+	e *entry
+}
+
+// Table returns the pinned table (nil for family shards).
+func (p *Pin) Table() *db.Table { return p.e.table }
+
+// Family returns the pinned family (nil for table shards).
+func (p *Pin) Family() *db.Family { return p.e.fam }
+
+// Entries returns the shard's entry count.
+func (p *Pin) Entries() uint64 { return p.e.entries }
+
+// Release unpins the shard. Each Pin must be released exactly once.
+func (p *Pin) Release() {
+	c := p.c
+	c.mu.Lock()
+	p.e.refs--
+	if p.e.refs < 0 {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("server: shard %s released more often than acquired", p.e.key))
+	}
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// Acquire pins the named shard, loading it from disk if it is not
+// resident. Concurrent acquires of a cold shard perform one load.
+func (c *Cache) Acquire(key string) (*Pin, error) {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("server: unknown shard %q", key)
+	}
+	for {
+		switch {
+		case e.loaded():
+			e.refs++
+			e.hits++
+			c.lru.MoveToFront(e.lruEl)
+			c.mu.Unlock()
+			return &Pin{c: c, e: e}, nil
+		case e.loading != nil:
+			ch := e.loading
+			c.mu.Unlock()
+			<-ch
+			c.mu.Lock()
+		default:
+			e.misses++
+			e.loading = make(chan struct{})
+			c.mu.Unlock()
+
+			tab, fam, err := load(e)
+
+			c.mu.Lock()
+			close(e.loading)
+			e.loading = nil
+			if err != nil {
+				c.mu.Unlock()
+				return nil, err
+			}
+			e.table, e.fam = tab, fam
+			e.loads++
+			e.refs++
+			e.lruEl = c.lru.PushFront(e)
+			c.used += e.bytes
+			c.evictLocked()
+			c.mu.Unlock()
+			return &Pin{c: c, e: e}, nil
+		}
+	}
+}
+
+// load reads the shard from disk (no cache lock held) and validates
+// awari rung sizes the way cmd/raquery does.
+func load(e *entry) (*db.Table, *db.Family, error) {
+	if e.kind == kindFamily {
+		fam, err := db.LoadFamily(e.path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: loading shard %s: %w", e.key, err)
+		}
+		return nil, fam, nil
+	}
+	t, err := db.Load(e.path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: loading shard %s: %w", e.key, err)
+	}
+	if n, ok := awariRung(e.key); ok && t.Size() != awari.Size(n) {
+		return nil, nil, fmt.Errorf("server: %s holds %d entries, want %d", e.path, t.Size(), awari.Size(n))
+	}
+	return t, nil, nil
+}
+
+// evictLocked drops least-recently-used unpinned shards until usage fits
+// the budget. Called with the cache mutex held.
+func (c *Cache) evictLocked() {
+	if c.budget == 0 {
+		return
+	}
+	for c.used > c.budget {
+		var victim *entry
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*entry); e.refs == 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return // everything resident is pinned; over budget until a release
+		}
+		c.lru.Remove(victim.lruEl)
+		victim.lruEl = nil
+		victim.table, victim.fam = nil, nil
+		victim.evictions++
+		c.used -= victim.bytes
+	}
+}
+
+// AcquireAwari pins everything needed to answer boards of up to n
+// stones — the family shard when one covers n, else rungs 0..n — and
+// returns a lookup over the pinned set plus a release for all pins.
+func (c *Cache) AcquireAwari(n int) (awari.Lookup, func(), error) {
+	if n < 0 || n > c.AwariMax() {
+		return nil, nil, fmt.Errorf("server: no awari database for %d stones (have 0..%d)", n, c.AwariMax())
+	}
+	if c.awariFamily != "" && c.awariFamMax >= n {
+		pin, err := c.Acquire(c.awariFamily)
+		if err != nil {
+			return nil, nil, err
+		}
+		fam := pin.Family()
+		return fam.Get, pin.Release, nil
+	}
+	pins := make([]*Pin, 0, n+1)
+	release := func() {
+		for _, p := range pins {
+			p.Release()
+		}
+	}
+	tables := make([]*db.Table, n+1)
+	for i := 0; i <= n; i++ {
+		pin, err := c.Acquire(fmt.Sprintf("awari-%d", i))
+		if err != nil {
+			release()
+			return nil, nil, err
+		}
+		pins = append(pins, pin)
+		tables[i] = pin.Table()
+	}
+	lookup := func(stones int, idx uint64) game.Value {
+		return tables[stones].Get(idx)
+	}
+	return lookup, release, nil
+}

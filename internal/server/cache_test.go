@@ -1,0 +1,174 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"retrograde/internal/db"
+	"retrograde/internal/game"
+)
+
+// writeTable saves a small table of known packed size and returns that
+// size in bytes.
+func writeTable(t *testing.T, dir, name string, entries int) uint64 {
+	t.Helper()
+	values := make([]game.Value, entries)
+	for i := range values {
+		values[i] = game.Value(i % 200)
+	}
+	tab, err := db.Pack(name, 8, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Save(filepath.Join(dir, name+".radb")); err != nil {
+		t.Fatal(err)
+	}
+	return tab.Bytes()
+}
+
+func TestCacheLRUBudget(t *testing.T) {
+	dir := t.TempDir()
+	size := writeTable(t, dir, "a", 1024)
+	writeTable(t, dir, "b", 1024)
+	writeTable(t, dir, "c", 1024)
+
+	c, err := NewCache(dir, 2*size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"a", "b", "c"} {
+		pin, err := c.Acquire(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pin.Table().Get(7) != 7 {
+			t.Errorf("shard %s entry 7 = %d, want 7", key, pin.Table().Get(7))
+		}
+		pin.Release()
+		if c.Used() > c.Budget() {
+			t.Errorf("after %s: resident %d bytes exceeds budget %d with nothing pinned", key, c.Used(), c.Budget())
+		}
+	}
+	// Acquiring c (the third shard) must have evicted a, the LRU.
+	for _, si := range c.Snapshot() {
+		switch si.Key {
+		case "a":
+			if si.Loaded || si.Evicts != 1 {
+				t.Errorf("shard a: loaded=%v evictions=%d, want evicted once", si.Loaded, si.Evicts)
+			}
+		case "b", "c":
+			if !si.Loaded || si.Evicts != 0 {
+				t.Errorf("shard %s: loaded=%v evictions=%d, want resident", si.Key, si.Loaded, si.Evicts)
+			}
+		}
+	}
+	// A re-acquire of a reloads it (miss), evicting b in turn.
+	pin, err := c.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin.Release()
+	for _, si := range c.Snapshot() {
+		if si.Key == "a" && (si.Loads != 2 || si.Misses != 2 || si.Hits != 0) {
+			t.Errorf("shard a after reload: %+v, want 2 loads, 2 misses", si)
+		}
+		if si.Key == "b" && si.Loaded {
+			t.Error("shard b survived the reload of a within a 2-shard budget")
+		}
+	}
+}
+
+func TestCachePinnedNotEvicted(t *testing.T) {
+	dir := t.TempDir()
+	size := writeTable(t, dir, "a", 1024)
+	writeTable(t, dir, "b", 1024)
+
+	c, err := NewCache(dir, size) // room for one shard only
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := c.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := c.Acquire("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both pinned: over budget is allowed, nothing may be evicted.
+	if c.Used() != 2*size {
+		t.Errorf("resident %d bytes, want %d (both pinned)", c.Used(), 2*size)
+	}
+	if pa.Table() == nil || pb.Table() == nil {
+		t.Fatal("a pinned shard lost its table")
+	}
+	pa.Release()
+	// Releasing a lets eviction bring usage back under the budget.
+	if c.Used() > c.Budget() {
+		t.Errorf("resident %d bytes exceeds budget %d after release", c.Used(), c.Budget())
+	}
+	if pb.Table() == nil {
+		t.Error("still-pinned shard b was evicted")
+	}
+	pb.Release()
+}
+
+func TestCacheUnknownShard(t *testing.T) {
+	c, err := NewCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire("nope"); err == nil {
+		t.Error("acquiring an unknown shard succeeded")
+	}
+	if c.AwariMax() != -1 {
+		t.Errorf("AwariMax of an empty dir = %d, want -1", c.AwariMax())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	size := writeTable(t, dir, "s0", 512)
+	for i := 1; i < 4; i++ {
+		writeTable(t, dir, fmt.Sprintf("s%d", i), 512)
+	}
+	c, err := NewCache(dir, 2*size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("s%d", rng.Intn(4))
+				pin, err := c.Acquire(key)
+				if err != nil {
+					t.Errorf("acquire %s: %v", key, err)
+					return
+				}
+				idx := uint64(rng.Intn(512))
+				if got := pin.Table().Get(idx); got != game.Value(idx%200) {
+					t.Errorf("%s[%d] = %d, want %d", key, idx, got, idx%200)
+				}
+				pin.Release()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if c.Used() > c.Budget() {
+		t.Errorf("resident %d bytes exceeds budget %d after the storm", c.Used(), c.Budget())
+	}
+	evictions := uint64(0)
+	for _, si := range c.Snapshot() {
+		evictions += si.Evicts
+	}
+	if evictions == 0 {
+		t.Error("4 shards under a 2-shard budget never evicted")
+	}
+}

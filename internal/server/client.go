@@ -1,0 +1,245 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/game"
+)
+
+// Client speaks the binary protocol to a Server. It is safe for
+// concurrent use: batches are pipelined over one connection and matched
+// to their replies by request id.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan clientReply
+	readErr error
+}
+
+type clientReply struct {
+	answers    []Answer
+	overloaded bool
+}
+
+// Dial connects to a server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: map[uint32]chan clientReply{},
+	}
+	go c.reader()
+	return c, nil
+}
+
+// Close tears the connection down; concurrent calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// reader dispatches reply frames to their waiting batches. On connection
+// error every pending and future call fails with that error.
+func (c *Client) reader() {
+	br := bufio.NewReader(c.conn)
+	for {
+		kind, body, err := readFrame(br)
+		if err != nil {
+			c.fail(fmt.Errorf("server: connection lost: %w", err))
+			return
+		}
+		var rep clientReply
+		var id uint32
+		switch kind {
+		case frameReply:
+			id, rep.answers, err = decodeAnswers(body)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+		case frameOverload:
+			if len(body) < 4 {
+				c.fail(errors.New("server: truncated overload frame"))
+				return
+			}
+			id = binary.LittleEndian.Uint32(body)
+			rep.overloaded = true
+		default:
+			c.fail(fmt.Errorf("server: unexpected frame type %d", kind))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- rep
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.conn.Close()
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// Do sends one batch and waits for its answers (same order as the
+// queries). It returns ErrOverloaded when the server sheds the batch.
+func (c *Client) Do(qs []Query) ([]Answer, error) {
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan clientReply, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	frame, err := encodeQueries(id, qs)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.wmu.Lock()
+	_, err = c.bw.Write(frame)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	rep, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	if rep.overloaded {
+		return nil, ErrOverloaded
+	}
+	if len(rep.answers) != len(qs) {
+		return nil, fmt.Errorf("server: %d answers for %d queries", len(rep.answers), len(qs))
+	}
+	return rep.answers, nil
+}
+
+// one runs a single query and surfaces its per-query error.
+func (c *Client) one(q Query) (Answer, error) {
+	as, err := c.Do([]Query{q})
+	if err != nil {
+		return Answer{}, err
+	}
+	if as[0].Err != "" {
+		return Answer{}, errors.New(as[0].Err)
+	}
+	return as[0], nil
+}
+
+// Value returns the database value of an awari board.
+func (c *Client) Value(b awari.Board) (game.Value, error) {
+	a, err := c.one(Query{Kind: KindValue, Board: b})
+	return a.Value, err
+}
+
+// BestMove returns the board's database value and best move; pit is -1
+// for terminal positions.
+func (c *Client) BestMove(b awari.Board) (pit int, value game.Value, err error) {
+	a, err := c.one(Query{Kind: KindBestMove, Board: b})
+	return a.Pit, a.Value, err
+}
+
+// Line returns the board's value and its optimal line, up to maxPlies
+// plies.
+func (c *Client) Line(b awari.Board, maxPlies int) (game.Value, []int8, error) {
+	a, err := c.one(Query{Kind: KindLine, Board: b, MaxPlies: maxPlies})
+	return a.Value, a.Line, err
+}
+
+// Probe returns entry idx of the named shard (any game's table).
+func (c *Client) Probe(shard string, idx uint64) (game.Value, error) {
+	a, err := c.one(Query{Kind: KindProbe, Shard: shard, Index: idx})
+	return a.Value, err
+}
+
+// Prober adapts a Client to the error-free probing interface
+// internal/search consumes (search.Prober). Network failures are
+// recorded and reported by Err; failed probes return 0, so a search
+// that used a failing prober must be discarded once Err is non-nil.
+type Prober struct {
+	c *Client
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewProber wraps the client for use as a search prober.
+func NewProber(c *Client) *Prober { return &Prober{c: c} }
+
+// Err returns the first probe failure, if any.
+func (p *Prober) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *Prober) record(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Value implements search.Prober.
+func (p *Prober) Value(b awari.Board) game.Value {
+	v, err := p.c.Value(b)
+	if err != nil {
+		p.record(err)
+		return 0
+	}
+	return v
+}
+
+// BestMove implements search.Prober.
+func (p *Prober) BestMove(b awari.Board) (pit int, value game.Value, ok bool) {
+	pit, v, err := p.c.BestMove(b)
+	if err != nil {
+		p.record(err)
+		return -1, 0, false
+	}
+	if pit < 0 {
+		return 0, 0, false
+	}
+	return pit, v, true
+}

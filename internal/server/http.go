@@ -1,0 +1,190 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"retrograde/internal/awari"
+)
+
+// The HTTP surface shares the listener with the binary protocol: the
+// first bytes of each connection are sniffed, and HTTP method prefixes
+// are handed to an embedded net/http server through a channel-backed
+// listener. Handlers go through the same begin/execute path as binary
+// batches, so backpressure and draining apply uniformly.
+
+// isHTTP reports whether the 4 peeked bytes start an HTTP request line.
+func isHTTP(b []byte) bool {
+	switch string(b) {
+	case "GET ", "PUT ", "POST", "HEAD", "OPTI", "DELE", "PATC":
+		return true
+	}
+	return false
+}
+
+// bufConn replays the sniffed bytes in front of the raw connection.
+type bufConn struct {
+	net.Conn
+	br *bufio.Reader
+}
+
+func (c *bufConn) Read(p []byte) (int, error) { return c.br.Read(p) }
+
+// chanListener feeds sniffed connections to http.Serve.
+type chanListener struct {
+	ch   chan net.Conn
+	addr net.Addr
+	once sync.Once
+	done chan struct{}
+}
+
+func newChanListener(addr net.Addr) *chanListener {
+	return &chanListener{ch: make(chan net.Conn), addr: addr, done: make(chan struct{})}
+}
+
+func (l *chanListener) deliver(c net.Conn) {
+	select {
+	case l.ch <- c:
+	case <-l.done:
+		c.Close()
+	}
+}
+
+func (l *chanListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, errors.New("server: listener closed")
+	}
+}
+
+func (l *chanListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *chanListener) Addr() net.Addr { return l.addr }
+
+func (s *Server) httpMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/value", s.handleBoard(KindBestMove))
+	mux.HandleFunc("/line", s.handleBoard(KindLine))
+	mux.HandleFunc("/probe", s.handleProbe)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/shards", s.handleShards)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// submitHTTP admits and executes a single query for an HTTP handler,
+// translating queue pressure into 503s.
+func (s *Server) submitHTTP(w http.ResponseWriter, q Query) (Answer, bool) {
+	if !s.begin() {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		return Answer{}, false
+	}
+	defer s.inflight.Done()
+	answers, err := s.execute([]Query{q})
+	if err != nil {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		return Answer{}, false
+	}
+	a := answers[0]
+	if a.Err != "" {
+		http.Error(w, a.Err, http.StatusNotFound)
+		return Answer{}, false
+	}
+	return a, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleBoard serves /value and /line: board=<12 comma-separated pits>,
+// and for lines plies=<n>.
+func (s *Server) handleBoard(kind byte) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		board, err := awari.ParseBoard(r.URL.Query().Get("board"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		q := Query{Kind: kind, Board: board}
+		if kind == KindLine {
+			q.MaxPlies = 16
+			if p := r.URL.Query().Get("plies"); p != "" {
+				n, err := strconv.Atoi(p)
+				if err != nil || n < 0 || n > MaxLinePlies {
+					http.Error(w, fmt.Sprintf("plies must be in [0, %d]", MaxLinePlies), http.StatusBadRequest)
+					return
+				}
+				q.MaxPlies = n
+			}
+		}
+		a, ok := s.submitHTTP(w, q)
+		if !ok {
+			return
+		}
+		resp := map[string]any{
+			"board":  board.String(),
+			"stones": board.Stones(),
+			"value":  a.Value,
+		}
+		if a.Pit >= 0 {
+			resp["bestPit"] = a.Pit
+		}
+		if kind == KindLine {
+			line := make([]int, len(a.Line))
+			for i, p := range a.Line {
+				line[i] = int(p)
+			}
+			resp["line"] = line
+		}
+		writeJSON(w, resp)
+	}
+}
+
+// handleProbe serves /probe?shard=<name>&index=<n>.
+func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	shard := r.URL.Query().Get("shard")
+	if shard == "" {
+		http.Error(w, "shard is required", http.StatusBadRequest)
+		return
+	}
+	idx, err := strconv.ParseUint(r.URL.Query().Get("index"), 10, 64)
+	if err != nil {
+		http.Error(w, "index must be a non-negative integer", http.StatusBadRequest)
+		return
+	}
+	a, ok := s.submitHTTP(w, Query{Kind: KindProbe, Shard: shard, Index: idx})
+	if !ok {
+		return
+	}
+	writeJSON(w, map[string]any{"shard": shard, "index": idx, "value": a.Value})
+}
+
+// handleStats renders the stats tables as text.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, t := range s.StatsTables() {
+		t.Render(w)
+	}
+}
+
+// handleShards lists discovered shards as JSON.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.cache.Snapshot())
+}

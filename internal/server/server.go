@@ -1,0 +1,413 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/stats"
+)
+
+// ErrOverloaded is returned when the server sheds a batch: its bounded
+// queue is full, or it is draining for shutdown. Clients should back off
+// and retry rather than pile on.
+var ErrOverloaded = errors.New("server: overloaded")
+
+// Config parameterises a Server.
+type Config struct {
+	// Dir is the database directory to discover shards in.
+	Dir string
+	// Rules is the awari rule set the databases were built with; move
+	// generation for best-move and line queries depends on it.
+	Rules awari.Rules
+	// MemBudget bounds the bytes of resident shards (0 = unlimited).
+	// Shards pinned by in-flight queries can push usage over the budget
+	// temporarily; eviction catches up on release.
+	MemBudget uint64
+	// Workers is the number of query workers; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the batch queue; a full queue sheds load with an
+	// overload response. 0 means 64.
+	QueueDepth int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 64
+}
+
+// job is one admitted batch travelling through the queue.
+type job struct {
+	queries []Query
+	answers []Answer
+	enq     time.Time
+	done    chan struct{}
+}
+
+// Server answers endgame-database queries over the binary protocol and
+// HTTP on one listener. Create one with Start; stop it with Close.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	l     net.Listener
+	jobs  chan *job
+
+	// admitMu orders request admission against draining: once draining
+	// is set under the mutex, no new request can enter inflight, so
+	// Close's inflight.Wait() covers every admitted request completely
+	// (including its response write).
+	admitMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	httpL   *chanListener
+	httpSrv *http.Server
+
+	wg sync.WaitGroup // accept loop, workers, connection readers
+
+	m metrics
+}
+
+// metrics are the server-wide counters; per-shard counters live in the
+// cache.
+type metrics struct {
+	batches   stats.Histogram // batch sizes (queries per batch)
+	latency   stats.Histogram // batch service time, microseconds
+	queries   atomic.Uint64
+	overloads atomic.Uint64
+	errors    atomic.Uint64 // per-query failures
+}
+
+// Start discovers shards under cfg.Dir, listens on addr (e.g.
+// "127.0.0.1:0") and serves until Close. It returns once the listener
+// is ready.
+func Start(addr string, cfg Config) (*Server, error) {
+	cache, err := NewCache(cfg.Dir, cfg.MemBudget)
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cache,
+		l:     l,
+		jobs:  make(chan *job, cfg.queueDepth()),
+		conns: map[net.Conn]struct{}{},
+		httpL: newChanListener(l.Addr()),
+	}
+	s.httpSrv = &http.Server{Handler: s.httpMux()}
+	for i := 0; i < cfg.workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	go s.httpSrv.Serve(s.httpL)
+	return s, nil
+}
+
+// Addr returns the listener's address (for addr ":0" setups).
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Cache returns the shard cache (for statistics).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Close shuts the server down gracefully: it stops accepting, refuses
+// new batches with overload responses, serves and answers everything
+// already admitted, then tears the connections down.
+func (s *Server) Close() error {
+	s.admitMu.Lock()
+	if s.draining {
+		s.admitMu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.admitMu.Unlock()
+
+	err := s.l.Close() // acceptLoop exits
+	s.inflight.Wait()  // every admitted batch answered and written
+	close(s.jobs)      // workers exit
+	s.httpSrv.Close()  // http connections torn down
+	s.httpL.Close()    // httpSrv.Serve returns
+	s.connMu.Lock()    // binary connections torn down, readers exit
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// begin admits one request. When it returns true the caller holds an
+// inflight reference and must call s.inflight.Done() after fully
+// responding; false means the server is draining.
+func (s *Server) begin() bool {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// execute queues the batch and waits for its answers. The caller must
+// hold an inflight reference (see begin).
+func (s *Server) execute(qs []Query) ([]Answer, error) {
+	j := &job{queries: qs, enq: time.Now(), done: make(chan struct{})}
+	select {
+	case s.jobs <- j:
+	default:
+		s.m.overloads.Add(1)
+		return nil, ErrOverloaded
+	}
+	<-j.done
+	return j.answers, nil
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.serveJob(j)
+		close(j.done)
+	}
+}
+
+// serveJob answers a batch in one pass: the awari shards the batch needs
+// are pinned once (family file, or rungs 0..maxN), every board query in
+// the batch is answered against that pinned set, and probes pin their
+// own shard. Pins guarantee concurrent evictions never race a lookup.
+func (s *Server) serveJob(j *job) {
+	j.answers = make([]Answer, len(j.queries))
+	s.m.batches.Observe(uint64(len(j.queries)))
+	s.m.queries.Add(uint64(len(j.queries)))
+
+	cover := s.cache.AwariMax()
+	maxN := -1
+	for i := range j.queries {
+		q := &j.queries[i]
+		if q.Kind == KindProbe {
+			continue
+		}
+		if n := q.Board.Stones(); n > cover {
+			j.answers[i] = Answer{Err: fmt.Sprintf(
+				"no awari database for %d stones (serving 0..%d); build the missing rungs with: rabuild -stones %d -out %s",
+				n, cover, n, s.cfg.Dir)}
+		} else if n > maxN {
+			maxN = n
+		}
+	}
+
+	var lookup awari.Lookup
+	if maxN >= 0 {
+		var release func()
+		var err error
+		lookup, release, err = s.cache.AcquireAwari(maxN)
+		if err != nil {
+			for i := range j.queries {
+				if j.queries[i].Kind != KindProbe && j.answers[i].Err == "" {
+					j.answers[i] = Answer{Err: err.Error()}
+				}
+			}
+			lookup = nil
+		} else {
+			defer release()
+		}
+	}
+
+	for i := range j.queries {
+		if j.answers[i].Err != "" {
+			continue
+		}
+		q := &j.queries[i]
+		if q.Kind == KindProbe {
+			j.answers[i] = s.probe(q)
+		} else if lookup != nil {
+			j.answers[i] = s.answerBoard(q, lookup)
+		}
+		if j.answers[i].Err != "" {
+			s.m.errors.Add(1)
+		}
+	}
+	s.m.latency.Observe(uint64(time.Since(j.enq).Microseconds()))
+}
+
+// probe answers a raw table lookup.
+func (s *Server) probe(q *Query) Answer {
+	pin, err := s.cache.Acquire(q.Shard)
+	if err != nil {
+		return Answer{Err: err.Error()}
+	}
+	defer pin.Release()
+	t := pin.Table()
+	if t == nil {
+		return Answer{Err: fmt.Sprintf("server: shard %q is a family; probe its per-rung tables", q.Shard)}
+	}
+	if q.Index >= t.Size() {
+		return Answer{Err: fmt.Sprintf("server: index %d out of range [0, %d) in shard %q", q.Index, t.Size(), q.Shard)}
+	}
+	return Answer{Value: t.Get(q.Index), Pit: -1}
+}
+
+// answerBoard answers the awari kinds against the pinned lookup.
+func (s *Server) answerBoard(q *Query, lookup awari.Lookup) Answer {
+	n := q.Board.Stones()
+	a := Answer{Value: lookup(n, awari.Rank(q.Board)), Pit: -1}
+	if q.Kind == KindValue {
+		return a
+	}
+	if pit, _, ok := awari.BestMove(s.cfg.Rules, q.Board, lookup); ok {
+		a.Pit = pit
+	}
+	if q.Kind != KindLine || a.Pit < 0 {
+		return a
+	}
+	cur := q.Board
+	for ply := 0; ply < q.MaxPlies; ply++ {
+		pit, _, ok := awari.BestMove(s.cfg.Rules, cur, lookup)
+		if !ok {
+			break
+		}
+		a.Line = append(a.Line, int8(pit))
+		cur, _ = s.cfg.Rules.Apply(cur, pit)
+	}
+	return a
+}
+
+// acceptLoop sniffs each connection's first bytes: HTTP methods go to
+// the embedded HTTP server, everything else speaks the binary protocol.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	br := bufio.NewReader(c)
+	first, err := br.Peek(4)
+	if err != nil {
+		c.Close()
+		return
+	}
+	if isHTTP(first) {
+		// Hand the connection (with its peeked bytes) to net/http; the
+		// HTTP server owns its lifecycle from here.
+		s.httpL.deliver(&bufConn{Conn: c, br: br})
+		return
+	}
+	s.track(c)
+	defer s.untrack(c)
+	defer c.Close()
+
+	var wmu sync.Mutex // replies from concurrent batches interleave per frame
+	var pending sync.WaitGroup
+	defer pending.Wait()
+	for {
+		kind, body, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if kind != frameQuery {
+			return
+		}
+		id, qs, err := decodeQueries(body)
+		if err != nil {
+			return
+		}
+		if !s.begin() {
+			wmu.Lock()
+			c.Write(encodeOverload(id))
+			wmu.Unlock()
+			continue
+		}
+		// Each batch runs in its own goroutine so one connection can
+		// pipeline batches; the bounded queue is the backpressure.
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			defer s.inflight.Done()
+			answers, err := s.execute(qs)
+			var frame []byte
+			if err != nil {
+				frame = encodeOverload(id)
+			} else {
+				frame = encodeAnswers(id, answers)
+			}
+			wmu.Lock()
+			c.Write(frame)
+			wmu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) track(c net.Conn) {
+	s.connMu.Lock()
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+// StatsTables renders the server's observability surface: per-shard
+// cache counters and the request-path summary.
+func (s *Server) StatsTables() []*stats.Table {
+	shards := stats.NewTable("shards", "shard", "kind", "entries", "bits", "size", "state", "pins", "hits", "misses", "loads", "evictions")
+	for _, si := range s.cache.Snapshot() {
+		state := "cold"
+		if si.Loaded {
+			state = "loaded"
+		}
+		shards.Row(si.Key, si.Kind, stats.Count(si.Entries), si.Bits, stats.Bytes(si.Bytes), state, si.Pinned, si.Hits, si.Misses, si.Loads, si.Evicts)
+	}
+	budget := "unlimited"
+	if s.cache.Budget() > 0 {
+		budget = stats.Bytes(s.cache.Budget())
+	}
+	shards.Note("resident %s of budget %s", stats.Bytes(s.cache.Used()), budget)
+
+	srv := stats.NewTable("server", "batches", "queries", "overloads", "query errors", "queue depth", "latency mean", "p50", "p99")
+	srv.Row(
+		stats.Count(s.m.batches.Count()),
+		stats.Count(s.m.queries.Load()),
+		stats.Count(s.m.overloads.Load()),
+		stats.Count(s.m.errors.Load()),
+		len(s.jobs),
+		fmt.Sprintf("%.0f µs", s.m.latency.Mean()),
+		fmt.Sprintf("%d µs", s.m.latency.Quantile(0.5)),
+		fmt.Sprintf("%d µs", s.m.latency.Quantile(0.99)),
+	)
+	return []*stats.Table{shards, srv}
+}

@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"strings"
+	"sync/atomic"
 )
 
 // Balance summarises a per-worker load distribution.
@@ -47,6 +49,59 @@ func ComputeBalance(loads []float64) Balance {
 	b.Imbalance = b.Max / b.Mean
 	b.CV = math.Sqrt(ss/float64(len(loads))) / b.Mean
 	return b
+}
+
+// Histogram is a power-of-two bucket histogram for latency-style
+// measurements: bucket i counts values v with 2^(i-1) <= v < 2^i (bucket
+// 0 counts zeros). Observations are lock-free; the zero value is ready
+// for use, and all methods are safe for concurrent callers.
+type Histogram struct {
+	buckets [65]atomic.Uint64
+	sum     atomic.Uint64
+	n       atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Mean returns the exact mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1): the
+// upper edge of the power-of-two bucket the quantile falls in.
+func (h *Histogram) Quantile(q float64) uint64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := uint64(0)
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<i - 1
+		}
+	}
+	return 1<<64 - 1
 }
 
 // Bytes renders a byte count in binary units.

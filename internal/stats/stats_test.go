@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -106,5 +107,51 @@ func TestRenderCSV(t *testing.T) {
 	want := "a,b\n1,\"x,y\"\n2.50,z\n"
 	if sb.String() != want {
 		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("zero histogram is not empty")
+	}
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	h.Observe(0)
+	if h.Count() != 1001 {
+		t.Errorf("Count = %d, want 1001", h.Count())
+	}
+	wantMean := float64(1000*1001/2) / 1001
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	// The median of 0..1000 is 500; its bucket [256, 512) has edge 511.
+	if got := h.Quantile(0.5); got != 511 {
+		t.Errorf("Quantile(0.5) = %d, want 511", got)
+	}
+	if got := h.Quantile(1); got != 1023 {
+		t.Errorf("Quantile(1) = %d, want 1023", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %d, want 0 (the single zero)", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
 	}
 }

@@ -52,6 +52,7 @@ import (
 	"retrograde/internal/ra"
 	"retrograde/internal/remote"
 	"retrograde/internal/search"
+	"retrograde/internal/server"
 )
 
 // Core value and game types.
@@ -198,6 +199,42 @@ type (
 	// Table is a bit-packed, checksummed database table.
 	Table = db.Table
 )
+
+// Database server: finished databases served over the network, with an
+// LRU shard cache, request batching, and HTTP endpoints alongside the
+// binary protocol (see cmd/raserve and internal/server).
+type (
+	// DBServer answers database queries over TCP and HTTP.
+	DBServer = server.Server
+	// DBServerConfig selects the database directory, rules, memory
+	// budget and concurrency of a DBServer.
+	DBServerConfig = server.Config
+	// DBClient speaks the binary batch protocol to a DBServer.
+	DBClient = server.Client
+	// DBQuery is one query of a batch.
+	DBQuery = server.Query
+	// DBAnswer is the reply to one DBQuery.
+	DBAnswer = server.Answer
+)
+
+// ErrDBOverloaded is returned when the server sheds a batch under load.
+var ErrDBOverloaded = server.ErrOverloaded
+
+// StartDBServer serves the databases found in cfg.Dir on addr.
+func StartDBServer(addr string, cfg DBServerConfig) (*DBServer, error) {
+	return server.Start(addr, cfg)
+}
+
+// DialDBServer connects a client to a running DBServer.
+func DialDBServer(addr string) (*DBClient, error) { return server.Dial(addr) }
+
+// NewRemoteSearcher returns a Searcher whose probes go to a database
+// server instead of a local ladder; probeLimit is the largest stone
+// count the server's databases cover (DBServer's /shards or the
+// client's errors reveal it).
+func NewRemoteSearcher(c *DBClient, rules Rules, loop LoopRule, probeLimit int) *Searcher {
+	return search.NewProber(server.NewProber(c), rules, loop, probeLimit)
+}
 
 // PackResult packs a finished analysis of g into a Table using the game's
 // declared value width.
