@@ -40,6 +40,7 @@ type Buffer[T any] struct {
 	capacity int
 	dests    [][]T
 	emit     func(dst int, batch []T)
+	alloc    func() []T
 	stats    Stats
 }
 
@@ -76,11 +77,24 @@ func MustNew[T any](dests, capacity int, emit func(dst int, batch []T)) *Buffer[
 // Capacity returns the combining buffer size.
 func (b *Buffer[T]) Capacity() int { return b.capacity }
 
+// SetAlloc installs an allocator for batch backing arrays. When set, the
+// buffer obtains the storage of every new batch from alloc instead of
+// make, which lets the receiver of an emitted batch recycle its array
+// back to the allocator's pool once the batch is consumed — the
+// emit/recycle handoff that makes steady-state combining allocation-free.
+// alloc must return a zero-length slice; capacity below the buffer's is
+// allowed (append grows it) but defeats recycling.
+func (b *Buffer[T]) SetAlloc(alloc func() []T) { b.alloc = alloc }
+
 // Add appends an item for dst, emitting the batch if it reaches capacity.
 func (b *Buffer[T]) Add(dst int, item T) {
 	q := b.dests[dst]
 	if q == nil {
-		q = make([]T, 0, b.capacity)
+		if b.alloc != nil {
+			q = b.alloc()
+		} else {
+			q = make([]T, 0, b.capacity)
+		}
 	}
 	q = append(q, item)
 	b.stats.Items++

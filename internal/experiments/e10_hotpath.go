@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"retrograde/internal/ra"
+	"retrograde/internal/stats"
+)
+
+// E10HotPath measures the in-core hot path directly: for each engine
+// configuration, the wall time and the total heap allocation of one full
+// solve of the headline rung. The packed per-position state word and the
+// pooled batch transport are the point — after Init, waves should move
+// updates without allocating, so allocation totals are dominated by the
+// state arrays themselves (ra.StateBytesPerPosition per position).
+func E10HotPath(env *Env) (*stats.Table, error) {
+	slice := env.Headline()
+	t := stats.NewTable(
+		fmt.Sprintf("E10: hot-path cost per solve (awari-%d, %s positions)",
+			env.Scale.Stones, stats.Count(slice.Size())),
+		"engine", "wall ms", "heap allocs", "heap bytes", "bytes/position")
+	engines := []ra.Engine{
+		ra.Sequential{},
+		ra.Concurrent{Batch: 1},
+		ra.Concurrent{},
+	}
+	perPos := float64(ra.StateBytesPerPosition)
+	for _, e := range engines {
+		var err error
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		wall := wallTime(func() {
+			_, err = e.Solve(slice)
+		})
+		if err != nil {
+			return nil, err
+		}
+		runtime.ReadMemStats(&after)
+		t.Row(e.Name(),
+			wall.Milliseconds(),
+			stats.Count(after.Mallocs-before.Mallocs),
+			stats.Bytes(after.TotalAlloc-before.TotalAlloc),
+			perPos)
+	}
+	t.Note("resident worker state is one packed 32-bit word per position: 16-bit value, 15-bit successor counter, final bit")
+	t.Note("heap columns are whole-solve totals (state arrays + warm-up); steady-state wave transport is allocation-free")
+	return t, nil
+}

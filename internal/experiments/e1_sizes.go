@@ -3,13 +3,15 @@ package experiments
 import (
 	"retrograde/internal/awari"
 	"retrograde/internal/db"
+	"retrograde/internal/ra"
 	"retrograde/internal/stats"
 )
 
 // workingSetBytesPerPosition is the analysis-time footprint of one
-// position in this implementation: a 2-byte value, a 4-byte successor
-// counter and a 1-byte final flag (queues excluded; they are transient).
-const workingSetBytesPerPosition = 7
+// position in this implementation: one packed state word holding the
+// 16-bit value, 15-bit successor counter and final bit (queues excluded;
+// they are transient).
+const workingSetBytesPerPosition = ra.StateBytesPerPosition
 
 // E1DatabaseSizes reproduces the paper's database-size table and its
 // memory claim (">600 MByte of internal memory on a uniprocessor"): for
@@ -38,7 +40,7 @@ func E1DatabaseSizes(maxStones int) *stats.Table {
 			t.Note("the %d-stone database is the first whose working set exceeds the paper's 600 MByte uniprocessor limit", n)
 		}
 	}
-	t.Note("working set = %d bytes/position (2 value + 4 counter + 1 flag) during analysis", workingSetBytesPerPosition)
+	t.Note("working set = %d bytes/position (packed 16-bit value + 15-bit counter + final bit) during analysis", workingSetBytesPerPosition)
 	t.Note("the paper's 13-stone database: %s positions", stats.Count(awari.Size(13)))
 	return t
 }

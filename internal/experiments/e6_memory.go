@@ -36,10 +36,10 @@ func E6Memory(env *Env) ([]*stats.Table, error) {
 		}
 		measured.Row(p, stats.Bytes(maxWS), stats.Bytes(sum), fmt.Sprintf("1/%.1f", float64(uni)/float64(maxWS)))
 	}
-	measured.Note("working set = value/counter/flag arrays actually allocated per shard")
+	measured.Note("working set = packed per-position state words actually allocated per shard")
 
 	extrap := stats.NewTable(
-		"E6b: extrapolated working sets at paper scale (7 bytes/position)",
+		fmt.Sprintf("E6b: extrapolated working sets at paper scale (%d bytes/position)", workingSetBytesPerPosition),
 		"stones", "positions", "uniprocessor", "per node at 64 procs", "fits 64 MiB node?")
 	for _, n := range []int{13, 15, 17, 19, 21, 23} {
 		size := awari.Size(n)

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -198,13 +201,38 @@ func TestRunAllQuick(t *testing.T) {
 		t.Skip("full harness skipped in -short mode")
 	}
 	var sb strings.Builder
-	if err := RunAll(Quick(), &sb, false, t.TempDir()); err != nil {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "tables.json")
+	if err := RunAll(Quick(), &sb, false, dir, jsonPath); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"E1:", "E2:", "E3:", "E4:", "E5:", "E6a:", "E6b:", "E7:", "E8:", "E9:", "A1:", "A2:", "A3:", "A4:", "V1:"} {
+	for _, want := range []string{"E1:", "E2:", "E3:", "E4:", "E5:", "E6a:", "E6b:", "E7:", "E8:", "E9:", "E10:", "A1:", "A2:", "A3:", "A4:", "V1:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &tables); err != nil {
+		t.Fatalf("JSON output: %v", err)
+	}
+	ids := make(map[string]bool)
+	for _, tb := range tables {
+		ids[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Errorf("JSON table %s has no rows", tb.ID)
+		}
+	}
+	for _, want := range []string{"E1", "E10", "V1"} {
+		if !ids[want] {
+			t.Errorf("JSON output missing table %s", want)
 		}
 	}
 }

@@ -12,10 +12,16 @@ import (
 
 // RunAll builds the environment and regenerates every experiment table at
 // the given scale, rendering them to w. With csvDir non-empty, each table
-// is additionally written as <csvDir>/<id>.csv for plotting. It is the
+// is additionally written as <csvDir>/<id>.csv for plotting; with jsonPath
+// non-empty, all tables are also written as one JSON document. It is the
 // whole of cmd/rabench.
-func RunAll(s Scale, w io.Writer, progress bool, csvDir string) error {
-	saveCSV := func(id string, t *stats.Table) error {
+func RunAll(s Scale, w io.Writer, progress bool, csvDir, jsonPath string) error {
+	var collected []stats.NamedTable
+	emit := func(id string, t *stats.Table) error {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		collected = append(collected, stats.NamedTable{ID: id, Table: t})
 		if csvDir == "" {
 			return nil
 		}
@@ -43,11 +49,7 @@ func RunAll(s Scale, w io.Writer, progress bool, csvDir string) error {
 	}
 	logf("# running experiments on awari-%d (%d positions)\n", s.Stones, env.Headline().Size())
 
-	e1 := E1DatabaseSizes(24)
-	if err := e1.Render(w); err != nil {
-		return err
-	}
-	if err := saveCSV("E1", e1); err != nil {
+	if err := emit("E1", E1DatabaseSizes(24)); err != nil {
 		return err
 	}
 	type tableFn struct {
@@ -66,10 +68,7 @@ func RunAll(s Scale, w io.Writer, progress bool, csvDir string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", tf.name, err)
 		}
-		if err := t.Render(w); err != nil {
-			return err
-		}
-		if err := saveCSV(tf.name, t); err != nil {
+		if err := emit(tf.name, t); err != nil {
 			return err
 		}
 	}
@@ -79,16 +78,14 @@ func RunAll(s Scale, w io.Writer, progress bool, csvDir string) error {
 		return fmt.Errorf("E6: %w", err)
 	}
 	for i, t := range e6 {
-		if err := t.Render(w); err != nil {
-			return err
-		}
-		if err := saveCSV(fmt.Sprintf("E6%c", 'a'+i), t); err != nil {
+		if err := emit(fmt.Sprintf("E6%c", 'a'+i), t); err != nil {
 			return err
 		}
 	}
 	for _, tf := range []tableFn{
 		{"E7", E7SharedMemory},
 		{"E8", E8RealWire},
+		{"E10", E10HotPath},
 		{"A1", A1Partition},
 		{"A2", A2Interconnect},
 		{"A3", A3Termination},
@@ -99,10 +96,7 @@ func RunAll(s Scale, w io.Writer, progress bool, csvDir string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", tf.name, err)
 		}
-		if err := t.Render(w); err != nil {
-			return err
-		}
-		if err := saveCSV(tf.name, t); err != nil {
+		if err := emit(tf.name, t); err != nil {
 			return err
 		}
 	}
@@ -111,10 +105,7 @@ func RunAll(s Scale, w io.Writer, progress bool, csvDir string) error {
 	if err != nil {
 		return fmt.Errorf("E9: %w", err)
 	}
-	if err := e9.Render(w); err != nil {
-		return err
-	}
-	if err := saveCSV("E9", e9); err != nil {
+	if err := emit("E9", e9); err != nil {
 		return err
 	}
 	logf("# V1 ...")
@@ -122,8 +113,19 @@ func RunAll(s Scale, w io.Writer, progress bool, csvDir string) error {
 	if err != nil {
 		return fmt.Errorf("V1: %w", err)
 	}
-	if err := v1.Render(w); err != nil {
+	if err := emit("V1", v1); err != nil {
 		return err
 	}
-	return saveCSV("V1", v1)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := stats.WriteJSON(f, collected); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }

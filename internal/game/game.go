@@ -22,7 +22,18 @@ import "fmt"
 // Value is a game-specific encoded position value. The encoding is owned
 // by the Game; retrograde analysis treats values as opaque except through
 // the Game's MoverValue/Better/Finalizes methods.
+//
+// Packing contract: a Value always fits in PackedValueBits bits (the
+// type is uint16 and must stay that wide). The in-core engines rely on
+// this to pack value + successor counter + final flag into one 32-bit
+// per-position state word, and the wire protocols rely on it for 2-byte
+// value encodings. A Game's ValueBits() must not exceed PackedValueBits;
+// Validate enforces this.
 type Value uint16
+
+// PackedValueBits is the width of a Value in packed state words and on
+// the wire.
+const PackedValueBits = 16
 
 // NoValue marks "no value known yet". No game may use it as a real value.
 const NoValue Value = 0xFFFF
@@ -154,11 +165,15 @@ func ValidateSample(g Game, targets []uint64) error {
 // and intended for tests and the raverify tool, not for production paths.
 //
 // Checked invariants:
+//   - ValueBits() respects the packing contract (<= PackedValueBits);
 //   - every internal move points inside [0, Size);
 //   - every resolved move carries a real value (not NoValue);
 //   - the predecessor relation is the exact multiset inverse of the
 //     internal move relation.
 func Validate(g Game) error {
+	if vb := g.ValueBits(); vb < 1 || vb > PackedValueBits {
+		return fmt.Errorf("game %s: ValueBits %d outside [1, %d] (value packing contract)", g.Name(), vb, PackedValueBits)
+	}
 	n := g.Size()
 	// forward[c] counts internal edges q -> c discovered by move
 	// generation; back[c] counts entries returned by Predecessors(c).

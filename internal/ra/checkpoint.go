@@ -43,17 +43,24 @@ func (w *Worker) WriteCheckpoint(out io.Writer, waves int) error {
 	if _, err := cw.Write(head); err != nil {
 		return err
 	}
-	if err := writeU16s(cw, w.value); err != nil {
-		return err
-	}
-	if err := writeI32s(cw, w.counter); err != nil {
-		return err
-	}
-	finals := make([]byte, len(w.final))
-	for i, f := range w.final {
-		if f {
+	// The on-disk format predates the packed state word and stores the
+	// three logical arrays separately; decode them so old checkpoints
+	// stay readable.
+	vals := make([]game.Value, len(w.state))
+	cnts := make([]int32, len(w.state))
+	finals := make([]byte, len(w.state))
+	for i, s := range w.state {
+		vals[i] = stateValue(s)
+		cnts[i] = stateCounter(s)
+		if stateFinal(s) {
 			finals[i] = 1
 		}
+	}
+	if err := writeU16s(cw, vals); err != nil {
+		return err
+	}
+	if err := writeI32s(cw, cnts); err != nil {
+		return err
 	}
 	if _, err := cw.Write(finals); err != nil {
 		return err
@@ -105,18 +112,23 @@ func ReadCheckpoint(g game.Game, in io.Reader) (w *Worker, waves int, err error)
 		return nil, 0, err
 	}
 	w = NewWorker(g, part, me)
-	if err := readU16s(cr, w.value); err != nil {
+	vals := make([]game.Value, len(w.state))
+	if err := readU16s(cr, vals); err != nil {
 		return nil, 0, err
 	}
-	if err := readI32s(cr, w.counter); err != nil {
+	cnts := make([]int32, len(w.state))
+	if err := readI32s(cr, cnts); err != nil {
 		return nil, 0, err
 	}
-	finals := make([]byte, len(w.final))
+	finals := make([]byte, len(w.state))
 	if _, err := io.ReadFull(cr, finals); err != nil {
 		return nil, 0, err
 	}
-	for i, f := range finals {
-		w.final[i] = f == 1
+	for i := range w.state {
+		if cnts[i] < 0 || cnts[i] > MaxSuccessors {
+			return nil, 0, fmt.Errorf("ra: checkpoint counter %d at position %d exceeds packed range [0, %d]", cnts[i], i, MaxSuccessors)
+		}
+		w.state[i] = packState(vals[i], cnts[i], finals[i] == 1)
 	}
 	if w.queue, err = readU64Slice(cr); err != nil {
 		return nil, 0, err
@@ -197,7 +209,7 @@ func (e Resumable) Solve(g game.Game) (*Result, error) {
 	for w.BeginWave() > 0 {
 		waves++
 		ranThisCall++
-		w.Expand(0, func(owner int, u Update) { w.Apply(u) })
+		w.ExpandLocal(0, w.Apply, nil)
 		if waves%e.every() == 0 {
 			if err := e.writeCheckpoint(w, waves); err != nil {
 				return nil, err

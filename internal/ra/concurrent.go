@@ -14,6 +14,12 @@ import (
 // algorithm (same waves, same combining) but with the host's real cores,
 // so it both validates the distributed engine and gives genuine wall-clock
 // speedups for building real databases.
+//
+// The hot path is allocation-free in steady state: batch backing arrays
+// are recycled between receiver and sender through a shared pool, and
+// updates a worker addresses to itself are applied inline (the
+// self-delivery fast path) instead of round-tripping through a combining
+// buffer and channel.
 type Concurrent struct {
 	// Workers is the number of shards; 0 means GOMAXPROCS.
 	Workers int
@@ -50,9 +56,140 @@ func (c Concurrent) group() uint64 {
 	return 1
 }
 
-// doneBatch is the per-wave sentinel signalling "no more batches from
-// this sender this wave".
-var doneBatch []Update
+// expandChunk is how many queue positions a worker expands between inbox
+// drains, so incoming batches are consumed while expansion is in flight.
+const expandChunk = 512
+
+// waveMsg is one message on a worker's inbox: either a batch of updates
+// or the end-of-wave signal from one sender. The explicit done flag
+// (rather than a nil-slice sentinel) means a legitimately empty batch can
+// never be mistaken for end-of-wave.
+type waveMsg struct {
+	batch []Update
+	done  bool
+}
+
+// waveWorker is one shard's transport state in the Concurrent engine:
+// the worker itself plus the combining buffer, inbox and batch pool it
+// shares with its peers. All fields are touched only by the single
+// goroutine driving the shard during a wave; wave boundaries are
+// WaitGroup barriers.
+type waveWorker struct {
+	me    int
+	p     int
+	w     *Worker
+	inbox []chan waveMsg // all inboxes; ours is inbox[me]
+	free  chan []Update  // shared pool of recycled batch arrays
+	buf   *combine.Buffer[Update]
+	cap   int // batch capacity
+
+	applyFn func(Update)              // bound w.Apply, allocated once
+	addFn   func(owner int, u Update) // bound buf.Add, allocated once
+	done    int                       // end-of-wave signals seen this wave
+}
+
+func newWaveWorker(w *Worker, inbox []chan waveMsg, free chan []Update, batch int) *waveWorker {
+	ww := &waveWorker{
+		me:    w.ID(),
+		p:     len(inbox),
+		w:     w,
+		inbox: inbox,
+		free:  free,
+		cap:   batch,
+	}
+	ww.buf = combine.MustNew(ww.p, batch, func(dst int, b []Update) {
+		ww.post(dst, waveMsg{batch: b})
+	})
+	ww.buf.SetAlloc(ww.alloc)
+	ww.applyFn = w.Apply
+	ww.addFn = ww.buf.Add
+	return ww
+}
+
+// alloc hands the combining buffer a recycled batch array when one is
+// available, allocating only while the pool warms up.
+func (ww *waveWorker) alloc() []Update {
+	select {
+	case b := <-ww.free:
+		return b
+	default:
+		return make([]Update, 0, ww.cap)
+	}
+}
+
+// recycle returns a consumed batch array to the pool (dropping it if the
+// pool is full — the array is then ordinary garbage).
+func (ww *waveWorker) recycle(b []Update) {
+	select {
+	case ww.free <- b[:0]:
+	default:
+	}
+}
+
+// apply consumes one inbox message.
+func (ww *waveWorker) apply(m waveMsg) {
+	if m.done {
+		ww.done++
+		return
+	}
+	for _, u := range m.batch {
+		ww.w.Apply(u)
+	}
+	ww.recycle(m.batch)
+}
+
+// post delivers a message to dst, draining our own inbox whenever the
+// destination's is full. A blocked sender is therefore always a consuming
+// receiver, which rules out send-cycle deadlock.
+func (ww *waveWorker) post(dst int, m waveMsg) {
+	for {
+		select {
+		case ww.inbox[dst] <- m:
+			return
+		case in := <-ww.inbox[ww.me]:
+			ww.apply(in)
+		}
+	}
+}
+
+// drain consumes every message currently queued on our inbox.
+func (ww *waveWorker) drain() {
+	for {
+		select {
+		case m := <-ww.inbox[ww.me]:
+			ww.apply(m)
+		default:
+			return
+		}
+	}
+}
+
+// wave runs this shard's part of one propagation wave: expand the wave
+// queue in chunks (self-owned updates applied inline, remote ones routed
+// through the pooled combining buffer), drain the inbox between chunks,
+// then flush, signal end-of-wave to every peer, and consume the inbox
+// until all peers have signalled.
+func (ww *waveWorker) wave() {
+	ww.done = 0
+	for {
+		k := ww.w.ExpandLocal(expandChunk, ww.applyFn, ww.addFn)
+		if k == 0 {
+			break
+		}
+		ww.drain()
+	}
+	ww.buf.FlushAll()
+	for dst := 0; dst < ww.p; dst++ {
+		if dst == ww.me {
+			ww.done++
+			continue
+		}
+		ww.post(dst, waveMsg{done: true})
+	}
+	for ww.done < ww.p {
+		ww.apply(<-ww.inbox[ww.me])
+	}
+}
 
 // Solve implements Engine.
 func (c Concurrent) Solve(g game.Game) (*Result, error) {
@@ -62,12 +199,21 @@ func (c Concurrent) Solve(g game.Game) (*Result, error) {
 		return nil, err
 	}
 	workers := make([]*Worker, p)
-	// Inboxes are buffered so that senders rarely block; receivers drain
-	// concurrently with expansion, so any buffer size is deadlock-free.
-	inbox := make([]chan []Update, p)
+	// Inboxes are buffered so that senders rarely block; post drains its
+	// own inbox while blocked, so any buffer size is deadlock-free.
+	inbox := make([]chan waveMsg, p)
 	for i := range workers {
 		workers[i] = NewWorker(g, part, i)
-		inbox[i] = make(chan []Update, 4*p)
+		inbox[i] = make(chan waveMsg, 4*p)
+	}
+	// free is the shared emit/recycle pool of batch backing arrays;
+	// after warm-up, waves move updates without allocating. Sized to hold
+	// every array that can circulate at once (all inbox slots plus every
+	// sender's partial per-destination batches), so recycles never drop.
+	free := make(chan []Update, 5*p*p+p)
+	wws := make([]*waveWorker, p)
+	for i, w := range workers {
+		wws[i] = newWaveWorker(w, inbox, free, c.batch())
 	}
 
 	// Phase 1: initialisation, embarrassingly parallel.
@@ -81,11 +227,10 @@ func (c Concurrent) Solve(g game.Game) (*Result, error) {
 	}
 	wg.Wait()
 
-	// Phase 2: wave-synchronous propagation. Each wave, every worker
-	// runs a receiver goroutine (applying incoming batches until it has
-	// seen one done sentinel per peer) and an expander goroutine
-	// (generating updates, batching them per destination, then sending
-	// the sentinels). A barrier separates waves.
+	// Phase 2: wave-synchronous propagation. Each wave, every shard runs
+	// one goroutine that interleaves expansion with draining its inbox
+	// and finishes when every peer's end-of-wave signal has arrived. A
+	// barrier separates waves.
 	waves := 0
 	for {
 		total := 0
@@ -96,36 +241,12 @@ func (c Concurrent) Solve(g game.Game) (*Result, error) {
 			break
 		}
 		waves++
-		for i, w := range workers {
-			wg.Add(2)
-			// Receiver: drain batches until p sentinels arrive (one per
-			// sender, including our own expander's).
-			go func(me int, w *Worker) {
+		for _, ww := range wws {
+			wg.Add(1)
+			go func(ww *waveWorker) {
 				defer wg.Done()
-				done := 0
-				for done < p {
-					batch := <-inbox[me]
-					if batch == nil {
-						done++
-						continue
-					}
-					for _, u := range batch {
-						w.Apply(u)
-					}
-				}
-			}(i, w)
-			// Expander: generate this wave's updates.
-			go func(me int, w *Worker) {
-				defer wg.Done()
-				buf := combine.MustNew(p, c.batch(), func(dst int, batch []Update) {
-					inbox[dst] <- batch
-				})
-				w.Expand(0, func(owner int, u Update) { buf.Add(owner, u) })
-				buf.FlushAll()
-				for dst := 0; dst < p; dst++ {
-					inbox[dst] <- doneBatch
-				}
-			}(i, w)
+				ww.wave()
+			}(ww)
 		}
 		wg.Wait()
 	}

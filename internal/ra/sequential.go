@@ -56,9 +56,9 @@ func SolveSequential(g game.Game) *Result {
 	waves := 0
 	for w.BeginWave() > 0 {
 		waves++
-		w.Expand(0, func(owner int, u Update) {
-			w.Apply(u)
-		})
+		// Single shard: every edge is self-owned, so the self-delivery
+		// fast path applies each update inline.
+		w.ExpandLocal(0, w.Apply, nil)
 	}
 	loops := w.ResolveLoops()
 	values := make([]game.Value, g.Size())

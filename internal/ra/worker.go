@@ -20,6 +20,58 @@ type Update struct {
 // UpdateWireBytes is the size of one update on the simulated network.
 const UpdateWireBytes = 10
 
+// Packed per-position state. The three logical fields a worker tracks per
+// position (current best value, outstanding internal successors, final
+// flag) are packed into one uint32 so the propagation hot path reads and
+// writes a single word instead of three parallel arrays:
+//
+//	bits  0..15  value   (game.Value, 16 bits; game.NoValue = 0xFFFF)
+//	bits 16..30  counter (outstanding internal successors, 15 bits)
+//	bit      31  final
+//
+// The value occupies the low bits so the common reads (Fill, Expand,
+// Value) are a mask, not a shift.
+const (
+	stateValueMask  uint32 = 0xFFFF
+	stateCountShift        = 16
+	stateCountMask  uint32 = 0x7FFF
+	stateFinalBit   uint32 = 1 << 31
+)
+
+// MaxSuccessors is the largest number of internal successors a single
+// position may have under the packed state layout (15-bit counter).
+// Worker.Init panics beyond it; every game in this repository has a
+// branching factor orders of magnitude below.
+const MaxSuccessors = int32(stateCountMask)
+
+// StateBytesPerPosition is the resident analysis-time state per owned
+// position in the in-core engines: one packed uint32.
+const StateBytesPerPosition = 4
+
+// packState assembles one packed state word.
+func packState(v game.Value, counter int32, final bool) uint32 {
+	s := uint32(v) | uint32(counter)<<stateCountShift
+	if final {
+		s |= stateFinalBit
+	}
+	return s
+}
+
+// stateValue extracts the value field of a packed state word.
+func stateValue(s uint32) game.Value { return game.Value(s & stateValueMask) }
+
+// stateCounter extracts the outstanding-successor counter.
+func stateCounter(s uint32) int32 { return int32(s >> stateCountShift & stateCountMask) }
+
+// stateFinal reports whether the final bit is set.
+func stateFinal(s uint32) bool { return s&stateFinalBit != 0 }
+
+// groupChunk is how many queue positions an expansion groups at a time
+// before emitting the gathered remote updates in owner order. It bounds
+// the grouping scratch while keeping runs long enough that consecutive
+// combine-buffer appends hit the same destination batch.
+const groupChunk = 512
+
 // WorkerStats counts the work a shard performed, for load-balance metrics
 // and for charging virtual time in the simulated cluster.
 type WorkerStats struct {
@@ -45,13 +97,22 @@ type Worker struct {
 	part *Partition
 	me   int
 
-	value   []game.Value // current best (final when final bit set)
-	counter []int32      // outstanding internal successors
-	final   []bool
+	// state packs value, successor counter and final flag per owned
+	// position (see packState); Apply touches exactly one word.
+	state []uint32
 
 	queue []uint64 // local indices finalized in the previous wave, to expand
 	next  []uint64 // local indices finalized in the current wave
 	loopy []uint64 // local indices resolved by the loop rule
+
+	// Expansion scratch, reused across Expand calls so steady-state waves
+	// allocate nothing.
+	preds    []uint64 // predecessor buffer for one position
+	runs     []Update // remote updates gathered for one grouping chunk
+	runOwner []int32  // owner of each entry in runs
+	runSort  []Update // counting-sort output (owner-grouped)
+	ownerCnt []int32  // per-owner update count within a chunk
+	ownerOff []int32  // per-owner placement cursor within a chunk
 
 	Stats WorkerStats
 }
@@ -66,16 +127,18 @@ func NewWorker(g game.Game, part *Partition, me int) *Worker {
 	}
 	n := part.ShardSize(me)
 	w := &Worker{
-		g:       g,
-		part:    part,
-		me:      me,
-		value:   make([]game.Value, n),
-		counter: make([]int32, n),
-		final:   make([]bool, n),
+		g:     g,
+		part:  part,
+		me:    me,
+		state: make([]uint32, n),
 	}
 	w.Stats.Positions = n
-	for i := range w.value {
-		w.value[i] = game.NoValue
+	if p := part.Workers(); p > 1 {
+		w.ownerCnt = make([]int32, p)
+		w.ownerOff = make([]int32, p)
+	}
+	for i := range w.state {
+		w.state[i] = uint32(game.NoValue)
 	}
 	return w
 }
@@ -84,7 +147,7 @@ func NewWorker(g game.Game, part *Partition, me int) *Worker {
 func (w *Worker) ID() int { return w.me }
 
 // ShardSize returns the number of positions the worker owns.
-func (w *Worker) ShardSize() uint64 { return uint64(len(w.value)) }
+func (w *Worker) ShardSize() uint64 { return uint64(len(w.state)) }
 
 // Init runs the initialisation phase over the shard: it enumerates every
 // owned position's moves, records the outstanding-successor counters,
@@ -94,12 +157,12 @@ func (w *Worker) ShardSize() uint64 { return uint64(len(w.value)) }
 func (w *Worker) Init() uint64 {
 	var moves []game.Move
 	var finals uint64
-	for local := uint64(0); local < uint64(len(w.value)); local++ {
+	for local := uint64(0); local < uint64(len(w.state)); local++ {
 		global := w.part.Global(w.me, local)
 		moves = w.g.Moves(global, moves[:0])
 		w.Stats.MovesGenerated += uint64(len(moves))
 		if len(moves) == 0 {
-			w.value[local] = w.g.TerminalValue(global)
+			w.state[local] = packState(w.g.TerminalValue(global), 0, false)
 			w.finalize(local)
 			finals++
 			continue
@@ -113,8 +176,10 @@ func (w *Worker) Init() uint64 {
 				best = game.BetterOf(w.g, best, m.Value)
 			}
 		}
-		w.value[local] = best
-		w.counter[local] = internal
+		if internal > MaxSuccessors {
+			panic(fmt.Sprintf("ra: position %d has %d internal successors, packed state supports at most %d", global, internal, MaxSuccessors))
+		}
+		w.state[local] = packState(best, internal, false)
 		if internal == 0 || (best != game.NoValue && w.g.Finalizes(best)) {
 			w.finalize(local)
 			finals++
@@ -125,7 +190,7 @@ func (w *Worker) Init() uint64 {
 }
 
 func (w *Worker) finalize(local uint64) {
-	w.final[local] = true
+	w.state[local] |= stateFinalBit
 	w.next = append(w.next, local)
 }
 
@@ -153,26 +218,125 @@ func (w *Worker) Refill() bool {
 // Expand pops up to limit finalized positions from the wave queue,
 // generates their predecessors, and emits one update per predecessor edge
 // through emit (including edges whose target the worker itself owns).
+// Within each grouping chunk, self-owned edges are emitted first and the
+// remaining edges are emitted in owner-grouped runs so consecutive
+// combine-buffer appends stay cache-local.
 // It returns the number of positions expanded; 0 means the wave queue is
 // empty. limit <= 0 expands the whole queue.
 func (w *Worker) Expand(limit int, emit func(owner int, u Update)) int {
+	return w.expand(limit, nil, emit)
+}
+
+// ExpandLocal is Expand with the self-delivery fast path: updates whose
+// target the worker itself owns are handed to apply inline (typically
+// the worker's own Apply) instead of being emitted, so they never round-
+// trip through a combining buffer. emit may be nil when the worker owns
+// the whole position space (single-shard partitions never emit).
+func (w *Worker) ExpandLocal(limit int, apply func(Update), emit func(owner int, u Update)) int {
+	if apply == nil {
+		panic("ra: ExpandLocal needs an apply callback")
+	}
+	return w.expand(limit, apply, emit)
+}
+
+// expand implements Expand/ExpandLocal. apply == nil routes self-owned
+// edges through emit (the historical Expand contract); otherwise they are
+// applied inline.
+func (w *Worker) expand(limit int, apply func(Update), emit func(owner int, u Update)) int {
 	if limit <= 0 || limit > len(w.queue) {
 		limit = len(w.queue)
 	}
-	var preds []uint64
-	for i := 0; i < limit; i++ {
-		local := w.queue[i]
-		global := w.part.Global(w.me, local)
-		v := w.value[local]
-		preds = w.g.Predecessors(global, preds[:0])
-		w.Stats.PredsGenerated += uint64(len(preds))
-		for _, q := range preds {
-			emit(w.part.Owner(q), Update{Target: q, Value: v})
+	p := w.part.Workers()
+	for done := 0; done < limit; {
+		n := limit - done
+		if p > 1 && n > groupChunk {
+			n = groupChunk
 		}
+		if p == 1 {
+			w.expandSingle(w.queue[done:done+limit], apply, emit)
+			done = limit
+			continue
+		}
+		w.expandChunkGrouped(w.queue[done:done+n], apply, emit)
+		done += n
 	}
 	w.queue = w.queue[limit:]
 	w.Stats.Expanded += uint64(limit)
 	return limit
+}
+
+// expandSingle is the single-shard path: every predecessor is self-owned,
+// so there is nothing to group.
+func (w *Worker) expandSingle(queue []uint64, apply func(Update), emit func(owner int, u Update)) {
+	for _, local := range queue {
+		global := w.part.Global(w.me, local)
+		v := stateValue(w.state[local])
+		w.preds = w.g.Predecessors(global, w.preds[:0])
+		w.Stats.PredsGenerated += uint64(len(w.preds))
+		for _, q := range w.preds {
+			u := Update{Target: q, Value: v}
+			if apply != nil {
+				apply(u)
+			} else {
+				emit(w.me, u)
+			}
+		}
+	}
+}
+
+// expandChunkGrouped expands one chunk of queue positions: self-owned
+// edges are dispatched immediately, remote edges are gathered and then
+// emitted in owner-grouped runs (stable counting sort by owner), so a
+// combining buffer sees long same-destination append runs.
+func (w *Worker) expandChunkGrouped(queue []uint64, apply func(Update), emit func(owner int, u Update)) {
+	w.runs = w.runs[:0]
+	w.runOwner = w.runOwner[:0]
+	for _, local := range queue {
+		global := w.part.Global(w.me, local)
+		v := stateValue(w.state[local])
+		w.preds = w.g.Predecessors(global, w.preds[:0])
+		w.Stats.PredsGenerated += uint64(len(w.preds))
+		for _, q := range w.preds {
+			u := Update{Target: q, Value: v}
+			o := w.part.Owner(q)
+			if o == w.me {
+				if apply != nil {
+					apply(u)
+				} else {
+					emit(w.me, u)
+				}
+				continue
+			}
+			w.runs = append(w.runs, u)
+			w.runOwner = append(w.runOwner, int32(o))
+			w.ownerCnt[o]++
+		}
+	}
+	if len(w.runs) == 0 {
+		return
+	}
+	if cap(w.runSort) < len(w.runs) {
+		w.runSort = make([]Update, len(w.runs))
+	}
+	sorted := w.runSort[:len(w.runs)]
+	off := int32(0)
+	for o, c := range w.ownerCnt {
+		w.ownerOff[o] = off
+		off += c
+	}
+	for i, u := range w.runs {
+		o := w.runOwner[i]
+		sorted[w.ownerOff[o]] = u
+		w.ownerOff[o]++
+	}
+	start := int32(0)
+	for o, c := range w.ownerCnt {
+		for _, u := range sorted[start : start+c] {
+			emit(o, u)
+		}
+		start += c
+		w.ownerCnt[o] = 0
+	}
 }
 
 // Apply delivers one update to an owned position. Updates for positions
@@ -184,16 +348,19 @@ func (w *Worker) Apply(u Update) {
 	}
 	local := w.part.Local(u.Target)
 	w.Stats.UpdatesApplied++
-	if w.final[local] {
+	s := w.state[local]
+	if s&stateFinalBit != 0 {
 		w.Stats.UpdatesStale++
 		return
 	}
-	w.value[local] = game.BetterOf(w.g, w.value[local], w.g.MoverValue(u.Value))
-	w.counter[local]--
-	if w.counter[local] < 0 {
+	v := game.BetterOf(w.g, stateValue(s), w.g.MoverValue(u.Value))
+	cnt := s >> stateCountShift & stateCountMask
+	if cnt == 0 {
 		panic(fmt.Sprintf("ra: worker %d position %d received more updates than successors", w.me, u.Target))
 	}
-	if w.counter[local] == 0 || w.g.Finalizes(w.value[local]) {
+	cnt--
+	w.state[local] = uint32(v) | cnt<<stateCountShift
+	if cnt == 0 || w.g.Finalizes(v) {
 		w.finalize(local)
 		w.Stats.Finalized++
 	}
@@ -205,13 +372,13 @@ func (w *Worker) Apply(u Update) {
 // It returns the number of positions resolved.
 func (w *Worker) ResolveLoops() uint64 {
 	var resolved uint64
-	for local := range w.final {
-		if w.final[local] {
+	for local, s := range w.state {
+		if s&stateFinalBit != 0 {
 			continue
 		}
 		global := w.part.Global(w.me, uint64(local))
-		w.value[local] = game.BetterOf(w.g, w.value[local], w.g.LoopValue(global))
-		w.final[local] = true
+		v := game.BetterOf(w.g, stateValue(s), w.g.LoopValue(global))
+		w.state[local] = packState(v, stateCounter(s), true)
 		w.loopy = append(w.loopy, uint64(local))
 		resolved++
 	}
@@ -227,17 +394,18 @@ func (w *Worker) ResolveLoops() uint64 {
 // It panics if analysis has not finished (position not final).
 func (w *Worker) Value(global uint64) game.Value {
 	local := w.part.Local(global)
-	if !w.final[local] {
+	s := w.state[local]
+	if s&stateFinalBit == 0 {
 		panic(fmt.Sprintf("ra: position %d not final", global))
 	}
-	return w.value[local]
+	return stateValue(s)
 }
 
 // Fill copies the shard's values into the full-space destination slice,
 // which must have length Size of the game.
 func (w *Worker) Fill(dst []game.Value) {
-	for local := uint64(0); local < uint64(len(w.value)); local++ {
-		dst[w.part.Global(w.me, local)] = w.value[local]
+	for local, s := range w.state {
+		dst[w.part.Global(w.me, uint64(local))] = stateValue(s)
 	}
 }
 
@@ -251,9 +419,9 @@ func (w *Worker) FillLoop(dst []uint64) {
 }
 
 // WorkingSetBytes reports the worker's in-memory footprint during
-// analysis: value, counter and final arrays plus current queues. This is
-// the quantity the paper's ">600 MByte on a uniprocessor" claim is about.
+// analysis: the packed state array plus current queues. This is the
+// quantity the paper's ">600 MByte on a uniprocessor" claim is about.
 func (w *Worker) WorkingSetBytes() uint64 {
-	n := uint64(len(w.value))
-	return n*2 + n*4 + n + uint64(cap(w.queue)+cap(w.next))*8
+	n := uint64(len(w.state))
+	return n*StateBytesPerPosition + uint64(cap(w.queue)+cap(w.next))*8
 }

@@ -110,9 +110,214 @@ func TestWorkerWorkingSetBytes(t *testing.T) {
 	g := nim.MustNew(2, 3)
 	part := Cyclic(g.Size(), 1)
 	w := NewWorker(g, part, 0)
-	// 16 positions: 2 + 4 + 1 bytes each at minimum.
-	if ws := w.WorkingSetBytes(); ws < 16*7 {
-		t.Errorf("WorkingSetBytes() = %d, want >= %d", ws, 16*7)
+	// 16 positions, one packed word each; queues empty before Init.
+	if ws := w.WorkingSetBytes(); ws != 16*StateBytesPerPosition {
+		t.Errorf("WorkingSetBytes() = %d, want %d", ws, 16*StateBytesPerPosition)
+	}
+	w.Init()
+	// Queues now hold finalized positions but the per-position resident
+	// state stays at StateBytesPerPosition.
+	if ws := w.WorkingSetBytes(); ws < 16*StateBytesPerPosition {
+		t.Errorf("WorkingSetBytes() after Init = %d, want >= %d", ws, 16*StateBytesPerPosition)
+	}
+}
+
+// TestPackedStateLayout pins the packed word format: 16-bit value in the
+// low bits, 15-bit successor counter above it, final bit on top — the
+// ≤ 4 bytes/position contract of the in-core engines.
+func TestPackedStateLayout(t *testing.T) {
+	if StateBytesPerPosition != 4 {
+		t.Fatalf("StateBytesPerPosition = %d, want 4", StateBytesPerPosition)
+	}
+	cases := []struct {
+		v     game.Value
+		cnt   int32
+		final bool
+	}{
+		{0, 0, false},
+		{game.NoValue, 0, false},
+		{0x1234, 1, false},
+		{0xFFFE, MaxSuccessors, false},
+		{7, 42, true},
+		{game.NoValue, MaxSuccessors, true},
+	}
+	for _, c := range cases {
+		s := packState(c.v, c.cnt, c.final)
+		if got := stateValue(s); got != c.v {
+			t.Errorf("stateValue(pack(%v,%d,%v)) = %v", c.v, c.cnt, c.final, got)
+		}
+		if got := stateCounter(s); got != c.cnt {
+			t.Errorf("stateCounter(pack(%v,%d,%v)) = %d", c.v, c.cnt, c.final, got)
+		}
+		if got := stateFinal(s); got != c.final {
+			t.Errorf("stateFinal(pack(%v,%d,%v)) = %v", c.v, c.cnt, c.final, got)
+		}
+	}
+	// Bit positions, not just roundtrips: value is the low 16 bits,
+	// counter the next 15, final the sign bit.
+	s := packState(0xABCD, 0x5555, true)
+	if s != 0xABCD|0x5555<<16|1<<31 {
+		t.Errorf("packState(0xABCD, 0x5555, true) = %#x", s)
+	}
+	// A fresh worker holds NoValue, zero counter, not final.
+	g := nim.MustNew(2, 3)
+	w := NewWorker(g, Cyclic(g.Size(), 1), 0)
+	if w.state[0] != uint32(game.NoValue) {
+		t.Errorf("fresh state word = %#x, want %#x", w.state[0], uint32(game.NoValue))
+	}
+}
+
+// hugeBranch is a game whose single non-terminal position has more
+// internal successors than the packed counter can hold.
+type hugeBranch struct{ n int }
+
+func (h hugeBranch) Name() string { return "hugebranch" }
+func (h hugeBranch) Size() uint64 { return 2 }
+func (h hugeBranch) Moves(idx uint64, buf []game.Move) []game.Move {
+	if idx == 0 {
+		return buf
+	}
+	for i := 0; i < h.n; i++ {
+		buf = append(buf, game.Move{Internal: true, Child: 0})
+	}
+	return buf
+}
+func (hugeBranch) TerminalValue(uint64) game.Value { return 0 }
+func (hugeBranch) Predecessors(idx uint64, buf []uint64) []uint64 {
+	if idx == 0 {
+		buf = append(buf, 1)
+	}
+	return buf
+}
+func (hugeBranch) MoverValue(v game.Value) game.Value { return v }
+func (hugeBranch) Better(a, b game.Value) bool        { return a > b }
+func (hugeBranch) Finalizes(game.Value) bool          { return false }
+func (hugeBranch) LoopValue(uint64) game.Value        { return 0 }
+func (hugeBranch) ValueBits() int                     { return 16 }
+
+func TestInitRejectsCounterOverflow(t *testing.T) {
+	g := hugeBranch{n: int(MaxSuccessors) + 1}
+	w := NewWorker(g, Cyclic(g.Size(), 1), 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Init with > MaxSuccessors internal moves did not panic")
+		}
+	}()
+	w.Init()
+}
+
+// TestExpandOwnerGroupedRuns checks the grouped-emission contract: within
+// a grouping chunk, remote updates arrive in owner-grouped ascending
+// runs, self-owned updates arrive first, and the multiset of emitted
+// edges matches the predecessor relation exactly.
+func TestExpandOwnerGroupedRuns(t *testing.T) {
+	g := ttt.New()
+	const p = 4
+	part := Cyclic(g.Size(), p)
+	ws := make([]*Worker, p)
+	for i := range ws {
+		ws[i] = NewWorker(g, part, i)
+		ws[i].Init()
+	}
+	for i, w := range ws {
+		w.BeginWave()
+		type edge struct {
+			owner  int
+			target uint64
+		}
+		got := map[edge]int{}
+		lastOwner := -1
+		selfPhase := true
+		var order []int
+		w.Expand(0, func(owner int, u Update) {
+			got[edge{owner, u.Target}]++
+			if owner == i {
+				if !selfPhase && lastOwner != i {
+					// self emits may interleave between chunks but never
+					// after a remote run within the same chunk resumes
+					return
+				}
+				return
+			}
+			selfPhase = false
+			if owner != lastOwner {
+				order = append(order, owner)
+				lastOwner = owner
+			}
+		})
+		// Owner runs are ascending within each chunk; with a queue
+		// smaller than the chunk size this means globally ascending.
+		if w.Stats.Expanded <= groupChunk {
+			for j := 1; j < len(order); j++ {
+				if order[j] <= order[j-1] {
+					t.Fatalf("worker %d: remote owner runs not ascending: %v", i, order)
+				}
+			}
+		}
+		// The emitted multiset matches Predecessors exactly.
+		want := map[edge]int{}
+		w2 := NewWorker(g, part, i)
+		w2.Init()
+		w2.BeginWave()
+		var preds []uint64
+		for _, local := range w2.queue {
+			global := part.Global(i, local)
+			preds = g.Predecessors(global, preds[:0])
+			for _, q := range preds {
+				want[edge{part.Owner(q), q}]++
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("worker %d: emitted %d distinct edges, want %d", i, len(got), len(want))
+		}
+		for e, n := range want {
+			if got[e] != n {
+				t.Fatalf("worker %d: edge %+v emitted %d times, want %d", i, e, got[e], n)
+			}
+		}
+	}
+}
+
+// TestExpandLocalMatchesExpand checks that the self-delivery fast path
+// carries exactly the self-owned edges Expand would have emitted.
+func TestExpandLocalMatchesExpand(t *testing.T) {
+	g := ttt.New()
+	part := Cyclic(g.Size(), 3)
+	a := NewWorker(g, part, 0)
+	b := NewWorker(g, part, 0)
+	a.Init()
+	b.Init()
+	a.BeginWave()
+	b.BeginWave()
+	countA := map[Update]int{}
+	remoteA := map[Update]int{}
+	a.Expand(0, func(owner int, u Update) {
+		if owner == 0 {
+			countA[u]++
+		} else {
+			remoteA[u]++
+		}
+	})
+	countB := map[Update]int{}
+	remoteB := map[Update]int{}
+	b.ExpandLocal(0, func(u Update) { countB[u]++ }, func(owner int, u Update) {
+		if owner == 0 {
+			t.Fatalf("ExpandLocal emitted self-owned update %+v", u)
+		}
+		remoteB[u]++
+	})
+	if len(countA) == 0 {
+		t.Fatal("no self-owned edges in test game")
+	}
+	for u, n := range countA {
+		if countB[u] != n {
+			t.Fatalf("self edge %+v: apply saw %d, emit saw %d", u, countB[u], n)
+		}
+	}
+	for u, n := range remoteA {
+		if remoteB[u] != n {
+			t.Fatalf("remote edge %+v: %d vs %d", u, remoteB[u], n)
+		}
 	}
 }
 

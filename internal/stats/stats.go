@@ -6,6 +6,7 @@ package stats
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -229,6 +230,41 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// tableJSON is the serialised shape of one table in WriteJSON output.
+type tableJSON struct {
+	ID      string     `json:"id,omitempty"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// NamedTable pairs a table with the short experiment id ("E1", "A3", ...)
+// used for CSV filenames and JSON records.
+type NamedTable struct {
+	ID    string
+	Table *Table
+}
+
+// WriteJSON writes the tables as one indented JSON array, preserving the
+// rendered cell strings so downstream tooling reads exactly the numbers
+// the text report shows.
+func WriteJSON(w io.Writer, tables []NamedTable) error {
+	out := make([]tableJSON, len(tables))
+	for i, nt := range tables {
+		out[i] = tableJSON{
+			ID:      nt.ID,
+			Title:   nt.Table.Title,
+			Columns: nt.Table.Columns,
+			Rows:    nt.Table.rows,
+			Notes:   nt.Table.notes,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // Rows returns the number of data rows (for tests).
