@@ -14,6 +14,10 @@
 // smaller ones) and each is saved as awari-<n>.radb. The chosen engine is
 // used for every rung; with -engine distributed the tool also prints the
 // virtual-time report of the top rung.
+//
+// With -compress, databases are written in the block-compressed v2
+// format (see internal/zdb): same .radb extension, smaller files, still
+// random-access. -block sets the block length in entries (0 = default).
 package main
 
 import (
@@ -34,6 +38,13 @@ import (
 	"retrograde/internal/remote"
 	"retrograde/internal/stats"
 	"retrograde/internal/ttt"
+	"retrograde/internal/zdb"
+)
+
+// Compression settings shared by every save path, set once from flags.
+var (
+	compressOut bool
+	blockLen    int
 )
 
 func main() {
@@ -57,7 +68,10 @@ func run() error {
 	combineSize := flag.Int("combine", 100, "distributed: updates per combined message (1 = off)")
 	out := flag.String("out", ".", "output directory for .radb files")
 	single := flag.String("single", "", "awari: additionally write all rungs into one .rafy family file")
+	compress := flag.Bool("compress", false, "write block-compressed v2 .radb files")
+	block := flag.Int("block", 0, "v2 block length in entries (0 = default)")
 	flag.Parse()
+	compressOut, blockLen = *compress, *block
 
 	var engine ra.Engine
 	switch *engineName {
@@ -164,7 +178,7 @@ func buildKalah(stones int, engine ra.Engine, out string) error {
 		path := filepath.Join(out, fmt.Sprintf("kalah-%d.radb", n))
 		t, err := db.Pack(fmt.Sprintf("kalah-%d", n), valueBitsFor(n), r.Values)
 		if err == nil {
-			err = t.Save(path)
+			err = saveTable(t, path)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rabuild: saving kalah rung %d: %v\n", n, err)
@@ -212,5 +226,23 @@ func save(g game.Game, r *ra.Result, path string) error {
 	if err != nil {
 		return err
 	}
-	return t.Save(path)
+	return saveTable(t, path)
+}
+
+// saveTable writes the table as plain v1, or as block-compressed v2
+// when -compress is set.
+func saveTable(t *db.Table, path string) error {
+	if !compressOut {
+		return t.Save(path)
+	}
+	z, err := zdb.Compress(t, blockLen)
+	if err != nil {
+		return err
+	}
+	if err := z.Save(path); err != nil {
+		return err
+	}
+	fmt.Printf("          compressed %s -> %s (%.2fx)\n",
+		stats.Bytes(z.RawBytes()), stats.Bytes(z.Bytes()), z.Ratio())
+	return nil
 }

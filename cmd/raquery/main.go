@@ -8,7 +8,9 @@
 //
 // The board lists pits 0..11 from the mover's perspective (0..5 mover's
 // row, 6..11 opponent's). Databases awari-0.radb .. awari-<n>.radb for
-// the board's stone count must exist in -db.
+// the board's stone count must exist in -db. Both plain (v1) and
+// block-compressed (v2) files are accepted; the version is sniffed from
+// the header, so a directory may mix the two.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"retrograde/internal/awari"
 	"retrograde/internal/db"
 	"retrograde/internal/game"
+	"retrograde/internal/zdb"
 )
 
 func main() {
@@ -61,10 +64,10 @@ func run() error {
 		}
 		lookup = func(n int, idx uint64) game.Value { return fam.Get(n, idx) }
 	} else {
-		tables := make([]*db.Table, stones+1)
+		gets := make([]func(uint64) game.Value, stones+1)
 		for n := 0; n <= stones; n++ {
 			path := filepath.Join(*dir, fmt.Sprintf("awari-%d.radb", n))
-			t, err := db.Load(path)
+			get, size, err := loadRung(path)
 			if err != nil {
 				if errors.Is(err, os.ErrNotExist) {
 					return fmt.Errorf("the %d-stone rung is missing (%s does not exist; the board needs rungs 0..%d).\nBuild the ladder with:\n  rabuild -stones %d -out %s",
@@ -72,15 +75,40 @@ func run() error {
 				}
 				return fmt.Errorf("loading the %d-stone database: %w", n, err)
 			}
-			if t.Size() != awari.Size(n) {
-				return fmt.Errorf("awari-%d.radb holds %d entries, want %d", n, t.Size(), awari.Size(n))
+			if size != awari.Size(n) {
+				return fmt.Errorf("awari-%d.radb holds %d entries, want %d", n, size, awari.Size(n))
 			}
-			tables[n] = t
+			gets[n] = get
 		}
-		lookup = func(n int, idx uint64) game.Value { return tables[n].Get(idx) }
+		lookup = func(n int, idx uint64) game.Value { return gets[n](idx) }
 	}
 
 	cur := board
+	return play(rules, cur, lookup, *line)
+}
+
+// loadRung sniffs the on-disk version and returns a random-access getter
+// for either format.
+func loadRung(path string) (get func(uint64) game.Value, size uint64, err error) {
+	info, err := db.Stat(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if info.Version == db.Version2 {
+		z, err := zdb.Load(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		return z.Get, z.Size(), nil
+	}
+	t, err := db.Load(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t.Get, t.Size(), nil
+}
+
+func play(rules awari.Rules, cur awari.Board, lookup awari.Lookup, line int) error {
 	for ply := 0; ; ply++ {
 		n := cur.Stones()
 		v := lookup(n, awari.Rank(cur))
@@ -91,8 +119,8 @@ func run() error {
 			note = fmt.Sprintf("  [cycle-valued: best conversion %d]", bv)
 		}
 		fmt.Printf("ply %2d  %v  stones=%2d  value=%d (mover captures %d of %d)%s\n", ply, cur, n, v, v, n, note)
-		if ply >= *line {
-			if *line == 0 {
+		if ply >= line {
+			if line == 0 {
 				pit, mv, ok := awari.BestMove(rules, cur, lookup)
 				if ok {
 					fmt.Printf("best move: pit %d (worth %d)\n", pit, mv)

@@ -1,9 +1,11 @@
 // Command rastats summarises built awari databases: per-rung value
-// distributions and aggregate statistics, read straight from .radb files.
+// distributions, file sizes, and — for block-compressed v2 files —
+// compression ratios and codec mixes, read straight from .radb files.
 //
 // Usage:
 //
 //	rastats -db dbs/ -stones 8
+//	rastats -db dbs/ -stones 8 -json stats.json
 package main
 
 import (
@@ -14,7 +16,9 @@ import (
 
 	"retrograde/internal/awari"
 	"retrograde/internal/db"
+	"retrograde/internal/game"
 	"retrograde/internal/stats"
+	"retrograde/internal/zdb"
 )
 
 func main() {
@@ -27,24 +31,26 @@ func main() {
 func run() error {
 	dir := flag.String("db", ".", "directory holding awari-<n>.radb files")
 	stones := flag.Int("stones", 8, "summarise rungs 0..stones")
+	jsonPath := flag.String("json", "", "also write the table as one JSON file")
 	flag.Parse()
 
 	t := stats.NewTable("awari database statistics",
-		"stones", "positions", "bytes", "mean value", "mover majority %", "zero %", "all %")
+		"stones", "positions", "packed", "file", "ratio", "codecs",
+		"mean value", "mover majority %", "zero %", "all %")
 	for n := 0; n <= *stones; n++ {
 		path := filepath.Join(*dir, fmt.Sprintf("awari-%d.radb", n))
-		table, err := db.Load(path)
+		values, packed, fileBytes, codecs, err := loadValues(path)
 		if err != nil {
 			return err
 		}
-		if table.Size() != awari.Size(n) {
-			return fmt.Errorf("%s holds %d entries, want %d", path, table.Size(), awari.Size(n))
+		if uint64(len(values)) != awari.Size(n) {
+			return fmt.Errorf("%s holds %d entries, want %d", path, len(values), awari.Size(n))
 		}
 		hist := make([]uint64, n+1)
 		var sum uint64
 		var majority uint64
-		for i := uint64(0); i < table.Size(); i++ {
-			v := int(table.Get(i))
+		for i, val := range values {
+			v := int(val)
 			if v > n {
 				return fmt.Errorf("%s entry %d holds %d, above the stone total %d", path, i, v, n)
 			}
@@ -54,19 +60,70 @@ func run() error {
 				majority++
 			}
 		}
+		size := uint64(len(values))
 		mean := 0.0
-		if table.Size() > 0 {
-			mean = float64(sum) / float64(table.Size())
+		if size > 0 {
+			mean = float64(sum) / float64(size)
 		}
 		t.Row(n,
-			stats.Count(table.Size()),
-			stats.Bytes(table.Bytes()),
+			stats.Count(size),
+			stats.Bytes(packed),
+			stats.Bytes(fileBytes),
+			fmt.Sprintf("%.2f", float64(fileBytes)/float64(max(packed, 1))),
+			codecs,
 			mean,
-			fmt.Sprintf("%.1f", 100*float64(majority)/float64(table.Size())),
-			fmt.Sprintf("%.1f", 100*float64(hist[0])/float64(table.Size())),
-			fmt.Sprintf("%.1f", 100*float64(hist[n])/float64(table.Size())))
+			fmt.Sprintf("%.1f", 100*float64(majority)/float64(size)),
+			fmt.Sprintf("%.1f", 100*float64(hist[0])/float64(size)),
+			fmt.Sprintf("%.1f", 100*float64(hist[n])/float64(size)))
 	}
+	t.Note("packed is the v1 bit-packed payload size; file is the stored payload (v2 = blocks + directory)")
+	t.Note("codecs counts v2 blocks per codec: raw, narrowed, run-length, huffman")
 	t.Note("mean value is the stones the mover captures on average over all positions")
 	t.Note("by zero-sum symmetry the mean tends toward n/2 as cyclic splits dominate")
-	return t.Render(os.Stdout)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := stats.WriteJSON(f, []stats.NamedTable{{ID: "rastats", Table: t}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadValues reads a v1 or v2 database, returning its decoded values,
+// the v1-equivalent packed payload size, the stored payload size, and a
+// codec-mix summary ("-" for v1 files).
+func loadValues(path string) (values []game.Value, packed, fileBytes uint64, codecs string, err error) {
+	info, err := db.Stat(path)
+	if err != nil {
+		return nil, 0, 0, "", err
+	}
+	if info.Version == db.Version2 {
+		z, err := zdb.Load(path)
+		if err != nil {
+			return nil, 0, 0, "", err
+		}
+		values, err = z.Unpack()
+		if err != nil {
+			return nil, 0, 0, "", err
+		}
+		raw, narrow, rle, huff := z.CodecCounts()
+		return values, z.RawBytes(), z.Bytes(),
+			fmt.Sprintf("r%d n%d l%d h%d", raw, narrow, rle, huff), nil
+	}
+	table, err := db.Load(path)
+	if err != nil {
+		return nil, 0, 0, "", err
+	}
+	values = make([]game.Value, table.Size())
+	for i := range values {
+		values[i] = table.Get(uint64(i))
+	}
+	return values, table.Bytes(), table.Bytes(), "-", nil
 }

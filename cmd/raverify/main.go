@@ -3,7 +3,12 @@
 // It rebuilds the ladder with two different engines (sequential and
 // distributed), requires bit-identical results, runs the fixpoint audit
 // on every rung, and — when -db is given — also compares against the
-// packed files on disk.
+// packed files on disk. Block-compressed v2 files are checked per-block
+// (the first corrupt block is named) and compared through both the
+// streaming decoder and the random-access path.
+//
+// All files are checked even after a failure; the exit status is
+// non-zero if any check failed, and a per-file summary is printed.
 //
 // Usage:
 //
@@ -19,20 +24,29 @@ import (
 
 	"retrograde/internal/awari"
 	"retrograde/internal/db"
+	"retrograde/internal/game"
 	"retrograde/internal/ladder"
 	"retrograde/internal/ra"
 	"retrograde/internal/stats"
+	"retrograde/internal/zdb"
 )
 
 func main() {
-	if err := run(); err != nil {
+	failed, err := run()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "raverify: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "raverify: FAIL: %d check(s) failed\n", failed)
 		os.Exit(1)
 	}
 	fmt.Println("raverify: OK")
 }
 
-func run() error {
+// run returns the number of failed checks; a non-nil error means the
+// verification itself could not proceed (bad flags, rebuild error).
+func run() (int, error) {
 	stones := flag.Int("stones", 7, "verify databases for 0..stones stones")
 	dir := flag.String("db", "", "optional directory of awari-<n>.radb files to compare against")
 	procs := flag.Int("procs", 8, "simulated nodes for the distributed rebuild")
@@ -43,48 +57,106 @@ func run() error {
 	fmt.Printf("rebuilding 0..%d sequentially...\n", *stones)
 	seq, err := ladder.Build(cfg, *stones, ra.Sequential{}, nil)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	fmt.Printf("rebuilding 0..%d on a %d-node simulated cluster...\n", *stones, *procs)
 	dist, err := ladder.Build(cfg, *stones, ra.Distributed{Workers: *procs}, nil)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	failed := 0
 	for n := 0; n <= *stones; n++ {
 		a, b := seq.Result(n), dist.Result(n)
-		for i := range a.Values {
-			if a.Values[i] != b.Values[i] {
-				return fmt.Errorf("rung %d: engines disagree at position %d (%d vs %d)", n, i, a.Values[i], b.Values[i])
-			}
+		if err := compareValues(a.Values, b.Values); err != nil {
+			fmt.Printf("rung %-2d  FAIL: engines disagree: %v\n", n, err)
+			failed++
+			continue
 		}
 		audit := ra.Audit
 		if *refine {
 			audit = ra.AuditRefined
 		}
 		if err := audit(seq.Slice(n), a); err != nil {
-			return fmt.Errorf("rung %d: %w", n, err)
+			fmt.Printf("rung %-2d  FAIL: audit: %v\n", n, err)
+			failed++
+			continue
 		}
 		fmt.Printf("rung %-2d  %12s positions  engines agree, audit passed\n", n, stats.Count(uint64(len(a.Values))))
 	}
 	if *dir == "" {
-		return nil
+		return failed, nil
 	}
+	ok := 0
 	for n := 0; n <= *stones; n++ {
 		path := filepath.Join(*dir, fmt.Sprintf("awari-%d.radb", n))
+		if err := verifyFile(path, seq.Result(n).Values); err != nil {
+			fmt.Printf("%s  FAIL: %v\n", path, err)
+			failed++
+		} else {
+			fmt.Printf("%s  OK\n", path)
+			ok++
+		}
+	}
+	fmt.Printf("files: %d ok, %d failed of %d\n", ok, *stones+1-ok, *stones+1)
+	return failed, nil
+}
+
+// verifyFile checks one on-disk database (either format) against the
+// rebuilt values. For v2 files every block CRC is checked first, so a
+// corrupt file is reported by block, and the values are compared through
+// both the streaming decoder and the random-access path.
+func verifyFile(path string, want []game.Value) error {
+	info, err := db.Stat(path)
+	if err != nil {
+		return err
+	}
+	if info.Version != db.Version2 {
 		t, err := db.Load(path)
 		if err != nil {
 			return err
 		}
-		want := seq.Result(n).Values
 		if t.Size() != uint64(len(want)) {
-			return fmt.Errorf("%s: %d entries, want %d", path, t.Size(), len(want))
+			return fmt.Errorf("%d entries, want %d", t.Size(), len(want))
 		}
 		for i := uint64(0); i < t.Size(); i++ {
 			if t.Get(i) != want[i] {
-				return fmt.Errorf("%s: entry %d is %d, want %d", path, i, t.Get(i), want[i])
+				return fmt.Errorf("entry %d is %d, want %d", i, t.Get(i), want[i])
 			}
 		}
-		fmt.Printf("%s matches the rebuild\n", path)
+		return nil
+	}
+	z, err := zdb.VerifyFile(path) // names the first corrupt block
+	if err != nil {
+		return err
+	}
+	if z.Size() != uint64(len(want)) {
+		return fmt.Errorf("%d entries, want %d", z.Size(), len(want))
+	}
+	streamed, err := z.Unpack()
+	if err != nil {
+		return err
+	}
+	for i, v := range streamed {
+		if v != want[i] {
+			return fmt.Errorf("streaming decode: entry %d is %d, want %d", i, v, want[i])
+		}
+	}
+	for i := uint64(0); i < z.Size(); i++ {
+		if got := z.Get(i); got != want[i] {
+			return fmt.Errorf("random access: entry %d is %d, want %d", i, got, want[i])
+		}
+	}
+	return nil
+}
+
+func compareValues(a, b []game.Value) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d vs %d entries", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("position %d (%d vs %d)", i, a[i], b[i])
+		}
 	}
 	return nil
 }

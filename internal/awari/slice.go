@@ -59,7 +59,9 @@ func (lr LoopRule) String() string {
 
 // Lookup resolves a position in an already-built smaller database: it
 // returns the database value (stones captured by the player to move) of
-// position idx of the stones-stone database.
+// position idx of the stones-stone database. Any random-access backing
+// works — in-memory result slices, packed db.Table files, or
+// block-compressed zdb tables served through their Get methods.
 type Lookup func(stones int, idx uint64) game.Value
 
 // Slice is the n-stone awari database slice as a game.Game. It is

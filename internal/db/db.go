@@ -117,22 +117,40 @@ func (t *Table) Unpack() []game.Value {
 	return out
 }
 
-// File format:
+// File format (version 1, flat packed):
 //
 //	magic   "RADB"          4 bytes
-//	version uint32          little endian (currently 1)
+//	version uint32          little endian
 //	bits    uint32
 //	nameLen uint32
 //	size    uint64
 //	name    nameLen bytes
 //	words   size*bits padded to words, little endian uint64s
 //	crc     uint64          CRC-64/ECMA of everything above
+//
+// Version 2 shares the magic and the leading header fields but stores
+// the values block-compressed; it is read and written by internal/zdb.
+// Stat describes both versions.
 const (
-	fileMagic   = "RADB"
-	fileVersion = 1
+	// Magic is the four-byte file signature shared by every version.
+	Magic = "RADB"
+	// Version1 is the flat bit-packed table this package reads and writes.
+	Version1 = 1
+	// Version2 is the block-compressed format (internal/zdb).
+	Version2 = 2
+	// V2DirEntrySize is the on-disk size of one version-2 block-directory
+	// entry: offset u64, encoded length u32, crc32 u32, codec u8, codec
+	// parameter u8, reserved u16.
+	V2DirEntrySize = 20
+
+	fileMagic   = Magic
+	fileVersion = Version1
 )
 
-var crcTable = crc64.MakeTable(crc64.ECMA)
+// CRC64Table is the checksum polynomial every on-disk format shares.
+var CRC64Table = crc64.MakeTable(crc64.ECMA)
+
+var crcTable = CRC64Table
 
 // WriteTo serialises the table. It implements io.WriterTo.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
@@ -170,6 +188,9 @@ func Read(r io.Reader) (*Table, error) {
 		return nil, fmt.Errorf("db: bad magic %q", hdr[:4])
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != fileVersion {
+		if v == Version2 {
+			return nil, fmt.Errorf("db: version 2 is block-compressed; read it with internal/zdb")
+		}
 		return nil, fmt.Errorf("db: unsupported version %d", v)
 	}
 	bits := int(binary.LittleEndian.Uint32(hdr[8:]))

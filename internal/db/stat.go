@@ -19,8 +19,25 @@ type Info struct {
 	Entries uint64
 	// Bits is the entry width.
 	Bits int
-	// Bytes is the packed in-memory size of the value words.
+	// Bytes is the packed in-memory size of the value words — what a
+	// fully inflated table occupies, whatever the on-disk version.
 	Bytes uint64
+	// Version is the on-disk format version: 1 flat packed, 2
+	// block-compressed (internal/zdb).
+	Version int
+	// Compressed is a version-2 file's in-core compressed footprint
+	// (block data plus directory); 0 for version-1 files.
+	Compressed uint64
+}
+
+// ServingBytes returns what a server holding this shard resident pays:
+// the compressed footprint for a version-2 file, the packed words
+// otherwise.
+func (i Info) ServingBytes() uint64 {
+	if i.Version == Version2 {
+		return i.Compressed
+	}
+	return i.Bytes
 }
 
 // FamilyInfo describes a stored family without its values.
@@ -88,8 +105,9 @@ func readInfo(r io.Reader) (Info, error) {
 	if string(hdr[:4]) != fileMagic {
 		return Info{}, fmt.Errorf("db: bad magic %q", hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != fileVersion {
-		return Info{}, fmt.Errorf("db: unsupported version %d", v)
+	version := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if version != Version1 && version != Version2 {
+		return Info{}, fmt.Errorf("db: unsupported version %d", version)
 	}
 	bits := int(binary.LittleEndian.Uint32(hdr[8:]))
 	if bits < 1 || bits > MaxValueBits {
@@ -104,5 +122,17 @@ func readInfo(r io.Reader) (Info, error) {
 	if _, err := io.ReadFull(r, name); err != nil {
 		return Info{}, fmt.Errorf("db: reading name: %w", err)
 	}
-	return Info{Name: string(name), Entries: size, Bits: bits, Bytes: PackedBytes(size, bits)}, nil
+	info := Info{Name: string(name), Entries: size, Bits: bits, Bytes: PackedBytes(size, bits), Version: version}
+	if version == Version2 {
+		// Version 2 appends blockLen u32, nBlocks u32, dataLen u64 before
+		// the block directory (see internal/zdb).
+		ext := make([]byte, 16)
+		if _, err := io.ReadFull(r, ext); err != nil {
+			return Info{}, fmt.Errorf("db: reading v2 header: %w", err)
+		}
+		nBlocks := binary.LittleEndian.Uint32(ext[4:])
+		dataLen := binary.LittleEndian.Uint64(ext[8:])
+		info.Compressed = dataLen + uint64(nBlocks)*V2DirEntrySize
+	}
+	return info, nil
 }

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"retrograde/internal/db"
+	"retrograde/internal/server"
+	"retrograde/internal/stats"
+	"retrograde/internal/zdb"
+)
+
+// E11Compression measures the block-compressed v2 format against flat
+// v1 packing. E11a compresses every ladder rung and reports bytes per
+// position and the winning codecs; E11b serves both formats through a
+// real server.Cache under a budget one byte too small for the full v1
+// ladder and counts the rungs each format keeps resident — the paper's
+// memory argument applied to the serving side: compression stretches the
+// same memory over more of the search space.
+func E11Compression(env *Env) ([]*stats.Table, error) {
+	top := env.Ladder.MaxStones()
+	perRung := stats.NewTable(
+		fmt.Sprintf("E11a: block compression per rung (awari 0..%d)", top),
+		"stones", "positions", "packed", "compressed", "bits/pos packed", "bits/pos v2", "ratio", "codecs")
+
+	dir, err := os.MkdirTemp("", "e11-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	v1Dir, v2Dir := filepath.Join(dir, "v1"), filepath.Join(dir, "v2")
+	for _, d := range []string{v1Dir, v2Dir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	var v1Total, v2Total uint64
+	for n := 0; n <= top; n++ {
+		name := fmt.Sprintf("awari-%d", n)
+		tab, err := db.Pack(name, env.Ladder.Slice(n).ValueBits(), env.Ladder.Result(n).Values)
+		if err != nil {
+			return nil, err
+		}
+		z, err := zdb.Compress(tab, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := tab.Save(filepath.Join(v1Dir, name+".radb")); err != nil {
+			return nil, err
+		}
+		if err := z.Save(filepath.Join(v2Dir, name+".radb")); err != nil {
+			return nil, err
+		}
+		v1Total += tab.Bytes()
+		v2Total += z.Bytes()
+		size := tab.Size()
+		raw, narrow, rle, huff := z.CodecCounts()
+		perRung.Row(n,
+			stats.Count(size),
+			stats.Bytes(tab.Bytes()),
+			stats.Bytes(z.Bytes()),
+			fmt.Sprintf("%.2f", 8*float64(tab.Bytes())/float64(max(size, 1))),
+			fmt.Sprintf("%.2f", 8*float64(z.Bytes())/float64(max(size, 1))),
+			fmt.Sprintf("%.2f", float64(z.Bytes())/float64(tab.Bytes())),
+			fmt.Sprintf("r%d n%d l%d h%d", raw, narrow, rle, huff))
+	}
+	perRung.Note("ratio is compressed/packed payload; tiny rungs expand (directory overhead), large rungs shrink")
+	perRung.Note("codecs counts blocks won per codec: raw, narrowed, run-length, huffman")
+
+	// E11b: the serving budget is one byte short of the full v1 ladder,
+	// so a v1 server must drop a rung; the compressed ladder should fit
+	// whole. Each cache sees the identical access pattern: every rung
+	// acquired and released once, in ladder order.
+	budget := v1Total - 1
+	serving := stats.NewTable(
+		fmt.Sprintf("E11b: rungs resident under a %s serving budget (full v1 ladder = %s)", stats.Bytes(budget), stats.Bytes(v1Total)),
+		"format", "ladder on disk", "rungs resident", "resident bytes", "evictions")
+	for _, fm := range []struct {
+		name string
+		dir  string
+		disk uint64
+	}{
+		{"v1 packed", v1Dir, v1Total},
+		{"v2 compressed", v2Dir, v2Total},
+	} {
+		cache, err := server.NewCache(fm.dir, budget)
+		if err != nil {
+			return nil, err
+		}
+		for n := 0; n <= top; n++ {
+			pin, err := cache.Acquire(fmt.Sprintf("awari-%d", n))
+			if err != nil {
+				return nil, err
+			}
+			pin.Release()
+		}
+		resident, residentBytes, evictions := 0, uint64(0), uint64(0)
+		for _, si := range cache.Snapshot() {
+			if si.Loaded {
+				resident++
+				residentBytes += si.Bytes
+			}
+			evictions += si.Evicts
+		}
+		serving.Row(fm.name, stats.Bytes(fm.disk), fmt.Sprintf("%d of %d", resident, top+1),
+			stats.Bytes(residentBytes), evictions)
+	}
+	serving.Note("same budget, same access pattern: compression holds strictly more of the ladder resident")
+	return []*stats.Table{perRung, serving}, nil
+}

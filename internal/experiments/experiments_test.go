@@ -195,6 +195,44 @@ func TestA3Termination(t *testing.T) {
 	}
 }
 
+func TestE11Compression(t *testing.T) {
+	env := quickEnv(t)
+	tables, err := E11Compression(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tables))
+	}
+	perRung, serving := tables[0], tables[1]
+	// Every rung from 4 up must compress below its packed size.
+	for r := 4; r < perRung.Rows(); r++ {
+		ratio, err := strconv.ParseFloat(perRung.Cell(r, 6), 64)
+		if err != nil {
+			t.Fatalf("row %d ratio %q: %v", r, perRung.Cell(r, 6), err)
+		}
+		if ratio >= 1 {
+			t.Errorf("rung %s: compression ratio %.2f, want < 1", perRung.Cell(r, 0), ratio)
+		}
+	}
+	// The compressed ladder must hold strictly more rungs resident under
+	// the shared budget.
+	if serving.Rows() != 2 {
+		t.Fatalf("serving rows = %d, want 2", serving.Rows())
+	}
+	parse := func(cell string) int {
+		n, err := strconv.Atoi(strings.Fields(cell)[0])
+		if err != nil {
+			t.Fatalf("resident cell %q: %v", cell, err)
+		}
+		return n
+	}
+	v1, v2 := parse(serving.Cell(0, 2)), parse(serving.Cell(1, 2))
+	if v2 <= v1 {
+		t.Errorf("resident rungs: v2 %d, v1 %d — compression must hold strictly more", v2, v1)
+	}
+}
+
 // TestRunAllQuick smoke-tests the full harness at test scale.
 func TestRunAllQuick(t *testing.T) {
 	if testing.Short() {
@@ -207,7 +245,7 @@ func TestRunAllQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"E1:", "E2:", "E3:", "E4:", "E5:", "E6a:", "E6b:", "E7:", "E8:", "E9:", "E10:", "A1:", "A2:", "A3:", "A4:", "V1:"} {
+	for _, want := range []string{"E1:", "E2:", "E3:", "E4:", "E5:", "E6a:", "E6b:", "E7:", "E8:", "E9:", "E10:", "E11a:", "E11b:", "A1:", "A2:", "A3:", "A4:", "V1:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll output missing %q", want)
 		}

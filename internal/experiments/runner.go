@@ -100,6 +100,16 @@ func RunAll(s Scale, w io.Writer, progress bool, csvDir, jsonPath string) error 
 			return err
 		}
 	}
+	logf("# E11 ...")
+	e11, err := E11Compression(env)
+	if err != nil {
+		return fmt.Errorf("E11: %w", err)
+	}
+	for i, t := range e11 {
+		if err := emit(fmt.Sprintf("E11%c", 'a'+i), t); err != nil {
+			return err
+		}
+	}
 	logf("# E9 ...")
 	e9, err := E9Symmetry()
 	if err != nil {

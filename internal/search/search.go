@@ -50,6 +50,29 @@ type Prober interface {
 	BestMove(b awari.Board) (pit int, value game.Value, ok bool)
 }
 
+// LookupProber adapts an awari.Lookup — the random-access getter of a
+// block-compressed zdb table, a pinned server shard, or any other
+// per-rung index function — into a Prober, so the forward searcher can
+// probe databases that are not held as a ladder in memory.
+type LookupProber struct {
+	// Rules must match the rules the databases were built with; BestMove
+	// expands moves under them.
+	Rules awari.Rules
+	// Lookup resolves (stones, rank) for every rung the searcher probes.
+	Lookup awari.Lookup
+}
+
+// Value returns the database value of b.
+func (p LookupProber) Value(b awari.Board) game.Value {
+	return p.Lookup(b.Stones(), awari.Rank(b))
+}
+
+// BestMove returns the best move under the databases' values; ok is
+// false for terminal positions.
+func (p LookupProber) BestMove(b awari.Board) (pit int, value game.Value, ok bool) {
+	return awari.BestMove(p.Rules, b, p.Lookup)
+}
+
 // Searcher solves awari positions by depth-limited negamax with database
 // probes.
 type Searcher struct {

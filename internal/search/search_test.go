@@ -1,11 +1,15 @@
 package search
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"retrograde/internal/awari"
+	"retrograde/internal/db"
+	"retrograde/internal/game"
 	"retrograde/internal/ra"
+	"retrograde/internal/zdb"
 
 	"retrograde/internal/ladder"
 )
@@ -149,6 +153,61 @@ func TestBestMoveIsConsistent(t *testing.T) {
 	if res.Exact && childRes.Exact && res.Repetitions == 0 && childRes.Repetitions == 0 {
 		if int(res.Value) != b.Stones()-int(childRes.Value) {
 			t.Errorf("root %d vs child %d violate zero-sum", res.Value, childRes.Value)
+		}
+	}
+}
+
+// TestLookupProberCompressed: the searcher probing block-compressed
+// tables through a LookupProber must agree exactly with the searcher
+// probing the in-memory ladder.
+func TestLookupProberCompressed(t *testing.T) {
+	const top = 5
+	l := buildLadder(t, top)
+	gets := make([]func(uint64) game.Value, top+1)
+	for n := 0; n <= top; n++ {
+		tab, err := db.Pack(fmt.Sprintf("awari-%d", n), l.Slice(n).ValueBits(), l.Result(n).Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := zdb.Compress(tab, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gets[n] = z.Get
+	}
+	cfg := l.Config()
+	p := LookupProber{Rules: cfg.Rules, Lookup: func(n int, idx uint64) game.Value { return gets[n](idx) }}
+	cs := NewProber(p, cfg.Rules, cfg.Loop, top)
+	ls := New(l)
+
+	rng := rand.New(rand.NewSource(11))
+	// In-database boards: probe parity, including best moves.
+	sl := l.Slice(top)
+	for trial := 0; trial < 50; trial++ {
+		b := sl.Board(rng.Uint64() % sl.Size())
+		if got, want := p.Value(b), l.Value(b); got != want {
+			t.Fatalf("probe of %v: compressed %d, ladder %d", b, got, want)
+		}
+		cp, cv, cok := p.BestMove(b)
+		lp, lv, lok := ls.p.BestMove(b)
+		if cp != lp || cv != lv || cok != lok {
+			t.Fatalf("best move of %v: compressed (%d,%d,%v), ladder (%d,%d,%v)", b, cp, cv, cok, lp, lv, lok)
+		}
+	}
+	// Boards one stone above the databases: full searches must agree.
+	above := awari.MustSlice(cfg.Rules, cfg.Loop, top+1, p.Lookup)
+	for trial := 0; trial < 20; trial++ {
+		b := above.Board(rng.Uint64() % above.Size())
+		cr, err := cs.Solve(b, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, err := ls.Solve(b, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cr != lr {
+			t.Fatalf("search of %v: compressed %+v, ladder %+v", b, cr, lr)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"retrograde/internal/awari"
 	"retrograde/internal/db"
 	"retrograde/internal/game"
+	"retrograde/internal/zdb"
 )
 
 // Shard kinds.
@@ -29,24 +30,30 @@ type entry struct {
 	path string
 	kind byte
 
-	// Header metadata, known before any load (db.Stat).
-	entries uint64
-	bits    int
-	bytes   uint64
-	pits    int // families only
-	maxT    int // families only
+	// Header metadata, known before any load (db.Stat). For a
+	// block-compressed (v2) shard, bytes is the compressed in-core
+	// footprint — what residency actually costs and what the budget is
+	// charged — while rawBytes is the flat packed size.
+	entries  uint64
+	bits     int
+	bytes    uint64
+	rawBytes uint64
+	version  int
+	pits     int // families only
+	maxT     int // families only
 
 	// Mutable, under Cache.mu.
 	refs    int
 	loading chan struct{} // non-nil while a load is in flight
 	table   *db.Table
+	ztab    *zdb.Table
 	fam     *db.Family
 	lruEl   *list.Element // non-nil while loaded
 
 	hits, misses, loads, evictions uint64
 }
 
-func (e *entry) loaded() bool { return e.table != nil || e.fam != nil }
+func (e *entry) loaded() bool { return e.table != nil || e.ztab != nil || e.fam != nil }
 
 // ShardInfo is a point-in-time snapshot of one shard, for /stats.
 type ShardInfo struct {
@@ -54,7 +61,13 @@ type ShardInfo struct {
 	Kind    string
 	Entries uint64
 	Bits    int
-	Bytes   uint64
+	// Bytes is what residency costs: the compressed footprint for a v2
+	// shard, the packed words otherwise.
+	Bytes uint64
+	// RawBytes is the flat packed size whatever the on-disk format.
+	RawBytes uint64
+	// Version is the shard's on-disk format version (1 or 2).
+	Version int
 	Loaded  bool
 	Pinned  int
 	Hits    uint64
@@ -82,7 +95,9 @@ type Cache struct {
 
 // NewCache scans dir for *.radb and *.rafy shards (headers only — no
 // values are loaded) and returns a cache bounded by budget bytes of
-// packed table data (0 = unlimited).
+// resident shard data (0 = unlimited). Block-compressed (v2) shards
+// stay compressed in core and are charged their compressed footprint,
+// so the same budget holds more of the ladder.
 func NewCache(dir string, budget uint64) (*Cache, error) {
 	names, err := os.ReadDir(dir)
 	if err != nil {
@@ -111,7 +126,8 @@ func NewCache(dir string, budget uint64) (*Cache, error) {
 			key := strings.TrimSuffix(name, ".radb")
 			c.entries[key] = &entry{
 				key: key, path: path, kind: kindTable,
-				entries: info.Entries, bits: info.Bits, bytes: info.Bytes,
+				entries: info.Entries, bits: info.Bits,
+				bytes: info.ServingBytes(), rawBytes: info.Bytes, version: info.Version,
 			}
 			if n, ok := awariRung(key); ok && info.Entries == awari.Size(n) {
 				rungs[n] = true
@@ -124,7 +140,8 @@ func NewCache(dir string, budget uint64) (*Cache, error) {
 			key := strings.TrimSuffix(name, ".rafy")
 			c.entries[key] = &entry{
 				key: key, path: path, kind: kindFamily,
-				entries: info.Entries, bits: info.Bits, bytes: info.Bytes,
+				entries: info.Entries, bits: info.Bits,
+				bytes: info.Bytes, rawBytes: info.Bytes, version: info.Version,
 				pits: info.Pits, maxT: info.MaxTotal,
 			}
 			if info.Pits == awari.Pits && (c.awariFamily == "" || info.MaxTotal > c.awariFamMax) {
@@ -193,7 +210,8 @@ func (c *Cache) Snapshot() []ShardInfo {
 		}
 		out = append(out, ShardInfo{
 			Key: e.key, Kind: kind, Entries: e.entries, Bits: e.bits,
-			Bytes: e.bytes, Loaded: e.loaded(), Pinned: e.refs,
+			Bytes: e.bytes, RawBytes: e.rawBytes, Version: e.version,
+			Loaded: e.loaded(), Pinned: e.refs,
 			Hits: e.hits, Misses: e.misses, Loads: e.loads, Evicts: e.evictions,
 		})
 	}
@@ -208,14 +226,39 @@ type Pin struct {
 	e *entry
 }
 
-// Table returns the pinned table (nil for family shards).
+// Table returns the pinned flat table (nil for family and compressed
+// shards).
 func (p *Pin) Table() *db.Table { return p.e.table }
+
+// Compressed returns the pinned block-compressed table (nil for flat
+// and family shards).
+func (p *Pin) Compressed() *zdb.Table { return p.e.ztab }
 
 // Family returns the pinned family (nil for table shards).
 func (p *Pin) Family() *db.Family { return p.e.fam }
 
 // Entries returns the shard's entry count.
 func (p *Pin) Entries() uint64 { return p.e.entries }
+
+// Get returns entry idx of a table shard, flat or compressed. It panics
+// on family shards (use Family) — callers check the kind first.
+func (p *Pin) Get(idx uint64) game.Value {
+	if p.e.ztab != nil {
+		return p.e.ztab.Get(idx)
+	}
+	return p.e.table.Get(idx)
+}
+
+// lookup returns the shard's point-lookup function (nil for families).
+func (p *Pin) lookup() func(uint64) game.Value {
+	switch {
+	case p.e.ztab != nil:
+		return p.e.ztab.Get
+	case p.e.table != nil:
+		return p.e.table.Get
+	}
+	return nil
+}
 
 // Release unpins the shard. Each Pin must be released exactly once.
 func (p *Pin) Release() {
@@ -257,7 +300,7 @@ func (c *Cache) Acquire(key string) (*Pin, error) {
 			e.loading = make(chan struct{})
 			c.mu.Unlock()
 
-			tab, fam, err := load(e)
+			tab, ztab, fam, err := load(e)
 
 			c.mu.Lock()
 			close(e.loading)
@@ -266,7 +309,7 @@ func (c *Cache) Acquire(key string) (*Pin, error) {
 				c.mu.Unlock()
 				return nil, err
 			}
-			e.table, e.fam = tab, fam
+			e.table, e.ztab, e.fam = tab, ztab, fam
 			e.loads++
 			e.refs++
 			e.lruEl = c.lru.PushFront(e)
@@ -279,23 +322,38 @@ func (c *Cache) Acquire(key string) (*Pin, error) {
 }
 
 // load reads the shard from disk (no cache lock held) and validates
-// awari rung sizes the way cmd/raquery does.
-func load(e *entry) (*db.Table, *db.Family, error) {
+// awari rung sizes the way cmd/raquery does. A v2 shard stays
+// compressed in core; its blocks decode on demand behind Get.
+func load(e *entry) (*db.Table, *zdb.Table, *db.Family, error) {
 	if e.kind == kindFamily {
 		fam, err := db.LoadFamily(e.path)
 		if err != nil {
-			return nil, nil, fmt.Errorf("server: loading shard %s: %w", e.key, err)
+			return nil, nil, nil, fmt.Errorf("server: loading shard %s: %w", e.key, err)
 		}
-		return nil, fam, nil
+		return nil, nil, fam, nil
 	}
-	t, err := db.Load(e.path)
+	var size uint64
+	var tab *db.Table
+	var ztab *zdb.Table
+	var err error
+	if e.version == db.Version2 {
+		ztab, err = zdb.Load(e.path)
+		if ztab != nil {
+			size = ztab.Size()
+		}
+	} else {
+		tab, err = db.Load(e.path)
+		if tab != nil {
+			size = tab.Size()
+		}
+	}
 	if err != nil {
-		return nil, nil, fmt.Errorf("server: loading shard %s: %w", e.key, err)
+		return nil, nil, nil, fmt.Errorf("server: loading shard %s: %w", e.key, err)
 	}
-	if n, ok := awariRung(e.key); ok && t.Size() != awari.Size(n) {
-		return nil, nil, fmt.Errorf("server: %s holds %d entries, want %d", e.path, t.Size(), awari.Size(n))
+	if n, ok := awariRung(e.key); ok && size != awari.Size(n) {
+		return nil, nil, nil, fmt.Errorf("server: %s holds %d entries, want %d", e.path, size, awari.Size(n))
 	}
-	return t, nil, nil
+	return tab, ztab, nil, nil
 }
 
 // evictLocked drops least-recently-used unpinned shards until usage fits
@@ -317,7 +375,7 @@ func (c *Cache) evictLocked() {
 		}
 		c.lru.Remove(victim.lruEl)
 		victim.lruEl = nil
-		victim.table, victim.fam = nil, nil
+		victim.table, victim.ztab, victim.fam = nil, nil, nil
 		victim.evictions++
 		c.used -= victim.bytes
 	}
@@ -344,7 +402,7 @@ func (c *Cache) AcquireAwari(n int) (awari.Lookup, func(), error) {
 			p.Release()
 		}
 	}
-	tables := make([]*db.Table, n+1)
+	gets := make([]func(uint64) game.Value, n+1)
 	for i := 0; i <= n; i++ {
 		pin, err := c.Acquire(fmt.Sprintf("awari-%d", i))
 		if err != nil {
@@ -352,10 +410,10 @@ func (c *Cache) AcquireAwari(n int) (awari.Lookup, func(), error) {
 			return nil, nil, err
 		}
 		pins = append(pins, pin)
-		tables[i] = pin.Table()
+		gets[i] = pin.lookup()
 	}
 	lookup := func(stones int, idx uint64) game.Value {
-		return tables[stones].Get(idx)
+		return gets[stones](idx)
 	}
 	return lookup, release, nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"retrograde/internal/db"
 	"retrograde/internal/game"
+	"retrograde/internal/zdb"
 )
 
 // writeTable saves a small table of known packed size and returns that
@@ -114,6 +115,174 @@ func TestCachePinnedNotEvicted(t *testing.T) {
 		t.Error("still-pinned shard b was evicted")
 	}
 	pb.Release()
+}
+
+// TestCacheEvictionSkipsPinned drives eviction while a pinned shard is
+// the LRU victim candidate: the pinned shard must be passed over and an
+// unpinned, more recently used shard evicted instead.
+func TestCacheEvictionSkipsPinned(t *testing.T) {
+	dir := t.TempDir()
+	size := writeTable(t, dir, "a", 1024)
+	writeTable(t, dir, "b", 1024)
+	writeTable(t, dir, "c", 1024)
+
+	c, err := NewCache(dir, 2*size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := c.Acquire("a") // a is LRU once b loads, but stays pinned
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := c.Acquire("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb.Release()
+	// Loading c overflows the budget; a (LRU) is pinned, so b must go.
+	pc, err := c.Acquire("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, si := range c.Snapshot() {
+		switch si.Key {
+		case "a":
+			if !si.Loaded || si.Evicts != 0 {
+				t.Errorf("pinned LRU shard a: loaded=%v evictions=%d, want untouched", si.Loaded, si.Evicts)
+			}
+		case "b":
+			if si.Loaded || si.Evicts != 1 {
+				t.Errorf("unpinned shard b: loaded=%v evictions=%d, want evicted", si.Loaded, si.Evicts)
+			}
+		}
+	}
+	if pa.Table().Get(3) != 3 {
+		t.Error("pinned shard a unreadable after eviction pass")
+	}
+	pa.Release()
+	pc.Release()
+	if c.Used() > c.Budget() {
+		t.Errorf("resident %d bytes exceeds budget %d after releases", c.Used(), c.Budget())
+	}
+}
+
+// TestCacheShardLargerThanBudget loads a single shard bigger than the
+// whole budget: the load must succeed while pinned (pins may overrun
+// the budget) and the shard must be evicted on release.
+func TestCacheShardLargerThanBudget(t *testing.T) {
+	dir := t.TempDir()
+	size := writeTable(t, dir, "big", 4096)
+
+	c, err := NewCache(dir, size/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin, err := c.Acquire("big")
+	if err != nil {
+		t.Fatalf("a shard larger than the budget must still load while pinned: %v", err)
+	}
+	if got := pin.Get(99); got != 99 {
+		t.Errorf("big[99] = %d, want 99", got)
+	}
+	if c.Used() != size {
+		t.Errorf("resident %d bytes while pinned, want %d", c.Used(), size)
+	}
+	pin.Release()
+	if c.Used() != 0 {
+		t.Errorf("resident %d bytes after release, want 0 (shard exceeds the budget)", c.Used())
+	}
+	for _, si := range c.Snapshot() {
+		if si.Key == "big" && (si.Loaded || si.Evicts != 1) {
+			t.Errorf("big after release: loaded=%v evictions=%d, want evicted once", si.Loaded, si.Evicts)
+		}
+	}
+	// The shard stays usable: a re-acquire reloads it.
+	pin, err = c.Acquire("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pin.Get(100); got != 100 {
+		t.Errorf("big[100] = %d after reload, want 100", got)
+	}
+	pin.Release()
+}
+
+// TestCacheCompressedShard serves a v2 (block-compressed) shard next to
+// its v1 twin: discovery must report the compressed footprint, probes
+// must agree entry for entry, and the budget must be charged compressed
+// bytes, not inflated ones.
+func TestCacheCompressedShard(t *testing.T) {
+	dir := t.TempDir()
+	values := make([]game.Value, 3000)
+	for i := range values {
+		values[i] = game.Value(i / 100 % 7) // long runs → compresses well
+	}
+	tab, err := db.Pack("plain", 8, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Save(filepath.Join(dir, "plain.radb")); err != nil {
+		t.Fatal(err)
+	}
+	z, err := zdb.Compress(tab, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Save(filepath.Join(dir, "packed.radb")); err != nil {
+		t.Fatal(err)
+	}
+	if z.Bytes() >= tab.Bytes() {
+		t.Fatalf("test table did not compress: %d >= %d bytes", z.Bytes(), tab.Bytes())
+	}
+
+	c, err := NewCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1, v2 *ShardInfo
+	for _, si := range c.Snapshot() {
+		si := si
+		switch si.Key {
+		case "plain":
+			v1 = &si
+		case "packed":
+			v2 = &si
+		}
+	}
+	if v1 == nil || v2 == nil {
+		t.Fatalf("discovery missed a shard: v1=%v v2=%v", v1, v2)
+	}
+	if v1.Version != 1 || v2.Version != 2 {
+		t.Errorf("versions = v%d, v%d, want v1, v2", v1.Version, v2.Version)
+	}
+	if v2.Bytes != z.Bytes() {
+		t.Errorf("compressed shard charged %d bytes, want compressed size %d", v2.Bytes, z.Bytes())
+	}
+	if v2.RawBytes != tab.Bytes() {
+		t.Errorf("compressed shard raw = %d bytes, want packed size %d", v2.RawBytes, tab.Bytes())
+	}
+
+	pp, err := c.Acquire("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pz, err := c.Acquire("packed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pz.Compressed() == nil {
+		t.Fatal("v2 pin has no compressed table")
+	}
+	for idx := uint64(0); idx < uint64(len(values)); idx++ {
+		if got, want := pz.Get(idx), pp.Get(idx); got != want {
+			t.Fatalf("packed[%d] = %d, plain[%d] = %d: compressed serving diverges", idx, got, idx, want)
+		}
+	}
+	if c.Used() != tab.Bytes()+z.Bytes() {
+		t.Errorf("resident %d bytes, want %d (v1 packed + v2 compressed)", c.Used(), tab.Bytes()+z.Bytes())
+	}
+	pp.Release()
+	pz.Release()
 }
 
 func TestCacheUnknownShard(t *testing.T) {

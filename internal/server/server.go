@@ -261,14 +261,13 @@ func (s *Server) probe(q *Query) Answer {
 		return Answer{Err: err.Error()}
 	}
 	defer pin.Release()
-	t := pin.Table()
-	if t == nil {
+	if pin.Family() != nil {
 		return Answer{Err: fmt.Sprintf("server: shard %q is a family; probe its per-rung tables", q.Shard)}
 	}
-	if q.Index >= t.Size() {
-		return Answer{Err: fmt.Sprintf("server: index %d out of range [0, %d) in shard %q", q.Index, t.Size(), q.Shard)}
+	if q.Index >= pin.Entries() {
+		return Answer{Err: fmt.Sprintf("server: index %d out of range [0, %d) in shard %q", q.Index, pin.Entries(), q.Shard)}
 	}
-	return Answer{Value: t.Get(q.Index), Pit: -1}
+	return Answer{Value: pin.Get(q.Index), Pit: -1}
 }
 
 // answerBoard answers the awari kinds against the pinned lookup.
@@ -384,13 +383,14 @@ func (s *Server) untrack(c net.Conn) {
 // StatsTables renders the server's observability surface: per-shard
 // cache counters and the request-path summary.
 func (s *Server) StatsTables() []*stats.Table {
-	shards := stats.NewTable("shards", "shard", "kind", "entries", "bits", "size", "state", "pins", "hits", "misses", "loads", "evictions")
+	shards := stats.NewTable("shards", "shard", "kind", "fmt", "entries", "bits", "size", "raw", "state", "pins", "hits", "misses", "loads", "evictions")
 	for _, si := range s.cache.Snapshot() {
 		state := "cold"
 		if si.Loaded {
 			state = "loaded"
 		}
-		shards.Row(si.Key, si.Kind, stats.Count(si.Entries), si.Bits, stats.Bytes(si.Bytes), state, si.Pinned, si.Hits, si.Misses, si.Loads, si.Evicts)
+		shards.Row(si.Key, si.Kind, fmt.Sprintf("v%d", si.Version), stats.Count(si.Entries), si.Bits,
+			stats.Bytes(si.Bytes), stats.Bytes(si.RawBytes), state, si.Pinned, si.Hits, si.Misses, si.Loads, si.Evicts)
 	}
 	budget := "unlimited"
 	if s.cache.Budget() > 0 {

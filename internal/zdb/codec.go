@@ -1,0 +1,235 @@
+package zdb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"retrograde/internal/game"
+)
+
+// Block codecs. The writer encodes every block with each candidate and
+// keeps the smallest; the directory records the winner per block, so a
+// table freely mixes codecs.
+const (
+	// codecRaw stores the block's values packed at the table's full entry
+	// width, LSB-first into a little-endian byte stream.
+	codecRaw = iota
+	// codecNarrow stores a uint16 base followed by (value - base) packed
+	// at the narrowest width that covers the block's range (the codec
+	// parameter). Width 0 encodes a constant block in two bytes.
+	codecNarrow
+	// codecRLE stores (run length, value) pairs as uvarints — the win on
+	// endgame tables whose long stretches of identical values (drawn
+	// regions, forced-capture plateaus) collapse to a few bytes.
+	codecRLE
+	// codecHuff stores canonical-Huffman-coded values (see huff.go) — the
+	// win on awari rungs, whose values concentrate well below the packed
+	// width but whose runs are too short for RLE.
+	codecHuff
+
+	numCodecs
+)
+
+// codecName renders a codec id for error messages and stats.
+func codecName(c uint8) string {
+	switch c {
+	case codecRaw:
+		return "raw"
+	case codecNarrow:
+		return "narrow"
+	case codecRLE:
+		return "rle"
+	case codecHuff:
+		return "huff"
+	}
+	return fmt.Sprintf("codec-%d", c)
+}
+
+// packBits appends vals-minus-base packed at width bits, LSB-first, to
+// dst. Width 0 appends nothing.
+func packBits(dst []byte, vals []game.Value, base game.Value, width int) []byte {
+	if width == 0 {
+		return dst
+	}
+	var acc uint64
+	nbits := 0
+	for _, v := range vals {
+		acc |= uint64(v-base) << nbits
+		nbits += width
+		for nbits >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+// unpackBits decodes n values of width bits from src into out[:n],
+// adding base. It reports whether src held enough bits.
+func unpackBits(src []byte, n int, base game.Value, width int, out []game.Value) bool {
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			out[i] = base
+		}
+		return true
+	}
+	if len(src)*8 < n*width {
+		return false
+	}
+	var acc uint64
+	nbits := 0
+	pos := 0
+	mask := uint64(1)<<width - 1
+	for i := 0; i < n; i++ {
+		for nbits < width {
+			acc |= uint64(src[pos]) << nbits
+			pos++
+			nbits += 8
+		}
+		out[i] = base + game.Value(acc&mask)
+		acc >>= width
+		nbits -= width
+	}
+	return true
+}
+
+// widthFor returns the bits needed to store span (0 for span 0).
+func widthFor(span game.Value) int {
+	w := 0
+	for span > 0 {
+		w++
+		span >>= 1
+	}
+	return w
+}
+
+// encodeBlock encodes vals with the smallest codec and appends the
+// payload to dst, returning the grown dst, the codec and its parameter.
+func encodeBlock(dst []byte, vals []game.Value, bits int) ([]byte, uint8, uint8) {
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	width := widthFor(hi - lo)
+	rawLen := (len(vals)*bits + 7) / 8
+	narrowLen := 2 + (len(vals)*width+7)/8
+
+	best, bestLen := uint8(codecRaw), rawLen
+	if narrowLen < bestLen {
+		best, bestLen = codecNarrow, narrowLen
+	}
+	if rleLen := rleSize(vals); rleLen < bestLen {
+		best, bestLen = codecRLE, rleLen
+	}
+	var lens []uint8
+	if lo != hi {
+		freqs := make([]uint32, int(hi)+1)
+		for _, v := range vals {
+			freqs[v]++
+		}
+		lens = huffLengths(freqs)
+		if hl := huffSize(lens, freqs); hl < bestLen {
+			best, bestLen = codecHuff, hl
+		}
+	}
+	switch best {
+	case codecNarrow:
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(lo))
+		return packBits(dst, vals, lo, width), codecNarrow, uint8(width)
+	case codecRLE:
+		return encodeRLE(dst, vals), codecRLE, 0
+	case codecHuff:
+		return encodeHuff(dst, vals, lens), codecHuff, 0
+	default:
+		return packBits(dst, vals, 0, bits), codecRaw, 0
+	}
+}
+
+// rleSize returns the exact encoded size of vals under codecRLE without
+// materialising it.
+func rleSize(vals []game.Value) int {
+	size := 0
+	var buf [binary.MaxVarintLen64]byte
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		size += binary.PutUvarint(buf[:], uint64(j-i))
+		size += binary.PutUvarint(buf[:], uint64(vals[i]))
+		i = j
+	}
+	return size
+}
+
+// encodeRLE appends (run length, value) uvarint pairs to dst.
+func encodeRLE(dst []byte, vals []game.Value) []byte {
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		dst = binary.AppendUvarint(dst, uint64(j-i))
+		dst = binary.AppendUvarint(dst, uint64(vals[i]))
+		i = j
+	}
+	return dst
+}
+
+// decodeBlock decodes an encoded block of n values into out[:n].
+func decodeBlock(src []byte, n int, bits int, codec, param uint8, out []game.Value) error {
+	switch codec {
+	case codecRaw:
+		if !unpackBits(src, n, 0, bits, out) {
+			return fmt.Errorf("zdb: raw block truncated (%d bytes for %d×%d bits)", len(src), n, bits)
+		}
+	case codecNarrow:
+		if len(src) < 2 {
+			return fmt.Errorf("zdb: narrow block shorter than its base")
+		}
+		base := game.Value(binary.LittleEndian.Uint16(src))
+		if int(param) > bits {
+			return fmt.Errorf("zdb: narrow width %d exceeds entry width %d", param, bits)
+		}
+		if !unpackBits(src[2:], n, base, int(param), out) {
+			return fmt.Errorf("zdb: narrow block truncated (%d bytes for %d×%d bits)", len(src), n, param)
+		}
+	case codecRLE:
+		i := 0
+		for i < n {
+			run, r1 := binary.Uvarint(src)
+			if r1 <= 0 {
+				return fmt.Errorf("zdb: rle run length malformed at value %d", i)
+			}
+			v, r2 := binary.Uvarint(src[r1:])
+			if r2 <= 0 {
+				return fmt.Errorf("zdb: rle value malformed at value %d", i)
+			}
+			src = src[r1+r2:]
+			if run == 0 || run > uint64(n-i) {
+				return fmt.Errorf("zdb: rle run of %d overflows block (%d of %d decoded)", run, i, n)
+			}
+			if v >= 1<<bits {
+				return fmt.Errorf("zdb: rle value %d does not fit in %d bits", v, bits)
+			}
+			for k := uint64(0); k < run; k++ {
+				out[i] = game.Value(v)
+				i++
+			}
+		}
+	case codecHuff:
+		return decodeHuff(src, n, bits, out)
+	default:
+		return fmt.Errorf("zdb: unknown codec %d", codec)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package zdb
+
+import (
+	"fmt"
+
+	"retrograde/internal/game"
+)
+
+// hotBlock is one decoded block resident in the table's LRU.
+type hotBlock struct {
+	idx   int    // block index, -1 when the slot is empty
+	stamp uint64 // last-use clock tick
+	vals  []game.Value
+}
+
+// SetHotBlocks sets the decoded-block LRU capacity (default 8 blocks)
+// and drops anything currently decoded. A server tuning for a scan-heavy
+// workload can raise it; the compressed payload itself never grows.
+func (t *Table) SetHotBlocks(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	t.hot = nil
+	t.free = nil
+	t.hotCap = n
+	t.mu.Unlock()
+}
+
+// Get returns entry idx, decoding at most one block. Hits on a decoded
+// block allocate nothing; a miss decodes into a pooled backing array
+// recycled from the evicted block, so the steady state is allocation-free
+// (see BenchmarkZdbRandomGet). Safe for concurrent callers.
+func (t *Table) Get(idx uint64) game.Value {
+	if idx >= t.size {
+		panic(fmt.Sprintf("zdb: index %d out of range [0, %d)", idx, t.size))
+	}
+	b := int(idx / uint64(t.blockLen))
+	within := idx % uint64(t.blockLen)
+	t.mu.Lock()
+	t.clock++
+	for i := range t.hot {
+		if t.hot[i].idx == b {
+			t.hot[i].stamp = t.clock
+			v := t.hot[i].vals[within]
+			t.mu.Unlock()
+			return v
+		}
+	}
+	vals, err := t.decodeLocked(b)
+	if err != nil {
+		t.mu.Unlock()
+		// Load verified the file checksum, so a decode failure here is
+		// corruption of the in-core payload or a format bug.
+		panic(err)
+	}
+	v := vals[within]
+	t.mu.Unlock()
+	return v
+}
+
+// decodeLocked decodes block b into a pooled array and installs it in
+// the LRU, evicting the least recently used block when full. Called with
+// t.mu held.
+func (t *Table) decodeLocked(b int) ([]game.Value, error) {
+	limit := t.hotCap
+	if limit == 0 {
+		limit = defaultHotBlocks
+	}
+	var vals []game.Value
+	if n := len(t.free); n > 0 {
+		vals = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else if len(t.hot) >= limit {
+		lru := 0
+		for i := range t.hot {
+			if t.hot[i].stamp < t.hot[lru].stamp {
+				lru = i
+			}
+		}
+		vals = t.hot[lru].vals
+		t.hot[lru] = t.hot[len(t.hot)-1]
+		t.hot = t.hot[:len(t.hot)-1]
+	} else {
+		vals = make([]game.Value, t.blockLen)
+	}
+	n := t.blockEntries(b)
+	if err := decodeBlock(t.encoded(b), n, t.bits, t.dir[b].codec, t.dir[b].param, vals); err != nil {
+		t.free = append(t.free, vals)
+		return nil, fmt.Errorf("zdb: block %d: %w", b, err)
+	}
+	t.hot = append(t.hot, hotBlock{idx: b, stamp: t.clock, vals: vals})
+	return vals, nil
+}

@@ -1,0 +1,240 @@
+package zdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"retrograde/internal/game"
+)
+
+// Canonical Huffman codec (codecHuff). Awari tables concentrate their
+// values — order-0 entropy sits a full bit or more below the packed
+// width on every measured rung — but their runs are short (average ~2.5
+// entries), so run-length coding loses where entropy coding wins. The
+// payload is:
+//
+//	maxSym u16                      largest symbol present
+//	lens   ceil((maxSym+1)/2) bytes 4-bit code lengths, low nibble first
+//	bits   MSB-first bitstream of canonical codes
+//
+// Code lengths are capped at huffMaxLen so a length always fits a
+// nibble; canonical assignment (sorted by length, then symbol) makes
+// the lengths alone sufficient to rebuild the code.
+const huffMaxLen = 15
+
+// huffLengths returns capped canonical code lengths for freqs (0 for
+// absent symbols). At least two symbols must be present.
+func huffLengths(freqs []uint32) []uint8 {
+	f := make([]uint64, len(freqs))
+	for i, c := range freqs {
+		f[i] = uint64(c)
+	}
+	for {
+		lens := huffBuild(f)
+		maxLen := uint8(0)
+		for _, l := range lens {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen <= huffMaxLen {
+			return lens
+		}
+		// Flatten the distribution and retry; converges quickly and only
+		// triggers on pathological skew.
+		for i := range f {
+			if f[i] > 1 {
+				f[i] = (f[i] + 1) / 2
+			}
+		}
+	}
+}
+
+// huffBuild computes optimal code lengths by the sorted two-queue
+// method.
+func huffBuild(freqs []uint64) []uint8 {
+	type node struct {
+		weight      uint64
+		left, right int // -1 for leaves
+		sym         int
+	}
+	var nodes []node
+	for s, f := range freqs {
+		if f > 0 {
+			nodes = append(nodes, node{weight: f, left: -1, right: -1, sym: s})
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].weight < nodes[j].weight })
+	leaves := len(nodes)
+	// Two queues: leaves (sorted) and internal nodes (built in
+	// nondecreasing weight order); the two lightest roots are always at
+	// one of the two queue fronts.
+	li, ii := 0, leaves
+	pop := func() int {
+		if li < leaves && (ii >= len(nodes) || nodes[li].weight <= nodes[ii].weight) {
+			li++
+			return li - 1
+		}
+		ii++
+		return ii - 1
+	}
+	for remaining := leaves; remaining > 1; remaining-- {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, node{weight: nodes[a].weight + nodes[b].weight, left: a, right: b})
+	}
+	lens := make([]uint8, len(freqs))
+	if leaves == 1 {
+		lens[nodes[0].sym] = 1
+		return lens
+	}
+	// Depth-first from the root (the last internal node).
+	type frame struct {
+		n     int
+		depth uint8
+	}
+	stack := []frame{{len(nodes) - 1, 0}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[fr.n]
+		if nd.left < 0 {
+			lens[nd.sym] = fr.depth
+			continue
+		}
+		stack = append(stack, frame{nd.left, fr.depth + 1}, frame{nd.right, fr.depth + 1})
+	}
+	return lens
+}
+
+// huffCanonical assigns canonical codes from lengths: symbols sorted by
+// (length, symbol) get consecutive codes. Returns per-symbol codes.
+func huffCanonical(lens []uint8) []uint16 {
+	var count [huffMaxLen + 1]uint16
+	for _, l := range lens {
+		count[l]++
+	}
+	count[0] = 0 // absent symbols get no code
+	var next [huffMaxLen + 1]uint16
+	code := uint16(0)
+	for l := 1; l <= huffMaxLen; l++ {
+		code = (code + count[l-1]) << 1
+		next[l] = code
+	}
+	codes := make([]uint16, len(lens))
+	for s, l := range lens {
+		if l > 0 {
+			codes[s] = next[l]
+			next[l]++
+		}
+	}
+	return codes
+}
+
+// huffSize returns the encoded byte size for vals under lens.
+func huffSize(lens []uint8, freqs []uint32) int {
+	bits := 0
+	for s, l := range lens {
+		bits += int(l) * int(freqs[s])
+	}
+	return 2 + (len(lens)+1)/2 + (bits+7)/8
+}
+
+// encodeHuff appends the canonical-Huffman encoding of vals to dst.
+func encodeHuff(dst []byte, vals []game.Value, lens []uint8) []byte {
+	codes := huffCanonical(lens)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(lens)-1))
+	for i := 0; i < len(lens); i += 2 {
+		b := lens[i]
+		if i+1 < len(lens) {
+			b |= lens[i+1] << 4
+		}
+		dst = append(dst, b)
+	}
+	var acc uint32
+	nbits := 0
+	for _, v := range vals {
+		l := int(lens[v])
+		acc = acc<<l | uint32(codes[v])
+		nbits += l
+		for nbits >= 8 {
+			dst = append(dst, byte(acc>>(nbits-8)))
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		dst = append(dst, byte(acc<<(8-nbits)))
+	}
+	return dst
+}
+
+// decodeHuff decodes n values from src into out[:n].
+func decodeHuff(src []byte, n int, bits int, out []game.Value) error {
+	if len(src) < 2 {
+		return fmt.Errorf("zdb: huffman block shorter than its header")
+	}
+	maxSym := int(binary.LittleEndian.Uint16(src))
+	if maxSym >= 1<<bits {
+		return fmt.Errorf("zdb: huffman symbol %d does not fit in %d bits", maxSym, bits)
+	}
+	alpha := maxSym + 1
+	lensBytes := (alpha + 1) / 2
+	if len(src) < 2+lensBytes {
+		return fmt.Errorf("zdb: huffman block truncated in its length table")
+	}
+	lens := make([]uint8, alpha)
+	for i := range lens {
+		b := src[2+i/2]
+		if i%2 == 1 {
+			b >>= 4
+		}
+		lens[i] = b & 0xF
+	}
+	// Canonical decode tables: first code and first rank per length, and
+	// symbols sorted by (length, symbol).
+	var count [huffMaxLen + 1]uint16
+	for _, l := range lens {
+		count[l]++
+	}
+	count[0] = 0 // absent symbols get no code
+	var firstCode, firstRank [huffMaxLen + 2]uint16
+	code, rank := uint16(0), uint16(0)
+	for l := 1; l <= huffMaxLen; l++ {
+		code = (code + count[l-1]) << 1
+		firstCode[l] = code
+		firstRank[l] = rank
+		rank += count[l]
+	}
+	syms := make([]uint16, 0, alpha)
+	for l := uint8(1); l <= huffMaxLen; l++ {
+		for s, sl := range lens {
+			if sl == l {
+				syms = append(syms, uint16(s))
+			}
+		}
+	}
+	body := src[2+lensBytes:]
+	bitPos := 0
+	totalBits := len(body) * 8
+	for i := 0; i < n; i++ {
+		c := uint16(0)
+		matched := false
+		for l := 1; l <= huffMaxLen; l++ {
+			if bitPos >= totalBits {
+				return fmt.Errorf("zdb: huffman bitstream exhausted at value %d", i)
+			}
+			c = c<<1 | uint16(body[bitPos/8]>>(7-bitPos%8)&1)
+			bitPos++
+			if count[l] > 0 && c >= firstCode[l] && c-firstCode[l] < count[l] {
+				out[i] = game.Value(syms[firstRank[l]+c-firstCode[l]])
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return fmt.Errorf("zdb: huffman code at value %d matches no symbol", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,394 @@
+package zdb
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/db"
+	"retrograde/internal/game"
+	"retrograde/internal/ladder"
+	"retrograde/internal/ra"
+)
+
+// pack builds a v1 table from values at the given width.
+func pack(t *testing.T, name string, bits int, vals []game.Value) *db.Table {
+	t.Helper()
+	tab, err := db.Pack(name, bits, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// roundtrip compresses, serialises, and re-reads a table.
+func roundtrip(t *testing.T, tab *db.Table, blockLen int) *Table {
+	t.Helper()
+	z, err := Compress(tab, blockLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := z.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRoundtripMixedValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]game.Value, 10000)
+	for i := range vals {
+		switch {
+		case i < 4000: // long constant run
+			vals[i] = 3
+		case i < 7000: // narrow range
+			vals[i] = game.Value(5 + rng.Intn(4))
+		default: // full width
+			vals[i] = game.Value(rng.Intn(1 << 9))
+		}
+	}
+	tab := pack(t, "mixed", 9, vals)
+	for _, blockLen := range []int{1, 7, 512, 4096, 100000} {
+		z := roundtrip(t, tab, blockLen)
+		if z.Name() != "mixed" || z.Size() != tab.Size() || z.Bits() != 9 {
+			t.Fatalf("blockLen %d: header mismatch: %q %d %d", blockLen, z.Name(), z.Size(), z.Bits())
+		}
+		got, err := z.Unpack()
+		if err != nil {
+			t.Fatalf("blockLen %d: %v", blockLen, err)
+		}
+		for i, v := range vals {
+			if got[i] != v {
+				t.Fatalf("blockLen %d: streaming entry %d = %d, want %d", blockLen, i, got[i], v)
+			}
+		}
+		for i := 0; i < len(vals); i += 37 {
+			if g := z.Get(uint64(i)); g != vals[i] {
+				t.Fatalf("blockLen %d: Get(%d) = %d, want %d", blockLen, i, g, vals[i])
+			}
+		}
+		if err := z.Verify(); err != nil {
+			t.Fatalf("blockLen %d: verify: %v", blockLen, err)
+		}
+	}
+}
+
+func TestCodecSelection(t *testing.T) {
+	constant := make([]game.Value, 4096)
+	z, err := Compress(pack(t, "c", 8, constant), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw, narrow, rle, huff := z.CodecCounts(); raw+huff != 0 || narrow+rle != 1 {
+		t.Errorf("constant block picked %d raw, %d narrow, %d rle, %d huff", raw, narrow, rle, huff)
+	}
+	if z.Bytes() > 64 {
+		t.Errorf("constant 4096-entry block compressed to %d bytes", z.Bytes())
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	noisy := make([]game.Value, 4096)
+	for i := range noisy {
+		noisy[i] = game.Value(rng.Intn(256))
+	}
+	z, err = Compress(pack(t, "n", 8, noisy), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw, narrow, rle, huff := z.CodecCounts(); raw+huff != 1 || narrow+rle != 0 {
+		t.Errorf("uniform-random block picked %d raw, %d narrow, %d rle, %d huff", raw, narrow, rle, huff)
+	}
+
+	// Values in [100, 103] need 2 bits against an 8-bit entry width.
+	shifted := make([]game.Value, 4096)
+	for i := range shifted {
+		shifted[i] = game.Value(100 + rng.Intn(4))
+	}
+	z, err = Compress(pack(t, "s", 8, shifted), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw, narrow, rle, huff := z.CodecCounts(); narrow+huff != 1 || raw+rle != 0 {
+		t.Errorf("narrow-range block picked %d raw, %d narrow, %d rle, %d huff", raw, narrow, rle, huff)
+	}
+	if z.Bytes() >= z.RawBytes() {
+		t.Errorf("narrow block did not shrink: %d >= %d", z.Bytes(), z.RawBytes())
+	}
+}
+
+// TestAwariParity is the bit-exact acceptance check: for every rung of
+// the awari ladder, the v2 table equals the v1 table entry for entry,
+// via both streaming decode and random access.
+func TestAwariParity(t *testing.T) {
+	maxStones := 8
+	if testing.Short() {
+		maxStones = 6
+	}
+	cfg := ladder.Config{Rules: awari.Standard, Loop: awari.LoopOwnSide}
+	l, err := ladder.Build(cfg, maxStones, ra.Concurrent{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= maxStones; n++ {
+		vals := l.Result(n).Values
+		bits := l.Slice(n).ValueBits()
+		v1 := pack(t, l.Slice(n).Name(), bits, vals)
+		v2 := roundtrip(t, v1, 1024)
+		if v2.Size() != v1.Size() {
+			t.Fatalf("rung %d: %d entries, want %d", n, v2.Size(), v1.Size())
+		}
+		stream, err := v2.Unpack()
+		if err != nil {
+			t.Fatalf("rung %d: %v", n, err)
+		}
+		for i := uint64(0); i < v1.Size(); i++ {
+			want := v1.Get(i)
+			if stream[i] != want {
+				t.Fatalf("rung %d: streaming entry %d = %d, want %d", n, i, stream[i], want)
+			}
+			if got := v2.Get(i); got != want {
+				t.Fatalf("rung %d: random-access entry %d = %d, want %d", n, i, got, want)
+			}
+		}
+		if v2.Bytes() >= v1.Bytes() && n >= 4 {
+			t.Errorf("rung %d: compressed %d bytes >= packed %d", n, v2.Bytes(), v1.Bytes())
+		}
+	}
+}
+
+func TestRandomAccessStorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]game.Value, 64*1024)
+	for i := range vals {
+		vals[i] = game.Value(rng.Intn(200))
+	}
+	z := roundtrip(t, pack(t, "storm", 8, vals), 512)
+	z.SetHotBlocks(4) // 128 blocks through a 4-block cache
+	done := make(chan bool)
+	for w := 0; w < 8; w++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			ok := true
+			for i := 0; i < 20000; i++ {
+				idx := uint64(rng.Intn(len(vals)))
+				if z.Get(idx) != vals[idx] {
+					ok = false
+					break
+				}
+			}
+			done <- ok
+		}(int64(w))
+	}
+	for w := 0; w < 8; w++ {
+		if !<-done {
+			t.Fatal("concurrent Get returned a wrong value")
+		}
+	}
+}
+
+func TestCorruptBlockNamed(t *testing.T) {
+	vals := make([]game.Value, 16*1024)
+	for i := range vals {
+		vals[i] = game.Value(i % 11)
+	}
+	z, err := Compress(pack(t, "corrupt", 4, vals), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corrupt.radb")
+	if err := z.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyFile(path); err != nil {
+		t.Fatalf("clean file failed verification: %v", err)
+	}
+
+	// Flip a byte inside block 5's payload.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataStart := len(raw) - 8 - len(z.data)
+	off := dataStart + int(z.dir[5].off) + int(z.dir[5].encLen)/2
+	raw[off] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = VerifyFile(path)
+	if err == nil {
+		t.Fatal("corrupt file passed verification")
+	}
+	if !strings.Contains(err.Error(), "block 5") {
+		t.Errorf("error %q does not name block 5", err)
+	}
+	// The strict reader must reject it too (whole-file checksum).
+	if _, err := Load(path); err == nil {
+		t.Error("strict Load accepted a corrupt file")
+	}
+}
+
+func TestStatSeesV2(t *testing.T) {
+	vals := make([]game.Value, 8192)
+	for i := range vals {
+		vals[i] = 2
+	}
+	tab := pack(t, "statv2", 6, vals)
+	z, err := Compress(tab, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	pv1 := filepath.Join(dir, "v1.radb")
+	pv2 := filepath.Join(dir, "v2.radb")
+	if err := tab.Save(pv1); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Save(pv2); err != nil {
+		t.Fatal(err)
+	}
+	i1, err := db.Stat(pv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := db.Stat(pv2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.Version != db.Version1 || i1.Compressed != 0 || i1.ServingBytes() != i1.Bytes {
+		t.Errorf("v1 stat: %+v", i1)
+	}
+	if i2.Version != db.Version2 || i2.Name != "statv2" || i2.Entries != 8192 || i2.Bits != 6 {
+		t.Errorf("v2 stat: %+v", i2)
+	}
+	if i2.Bytes != tab.Bytes() {
+		t.Errorf("v2 raw bytes %d, want packed %d", i2.Bytes, tab.Bytes())
+	}
+	if i2.Compressed != z.Bytes() || i2.ServingBytes() != z.Bytes() {
+		t.Errorf("v2 compressed %d (serving %d), want %d", i2.Compressed, i2.ServingBytes(), z.Bytes())
+	}
+	if i2.Compressed >= i2.Bytes {
+		t.Errorf("constant table did not compress: %d >= %d", i2.Compressed, i2.Bytes)
+	}
+	// db.Load must point at zdb rather than failing opaquely.
+	if _, err := db.Load(pv2); err == nil || !strings.Contains(err.Error(), "zdb") {
+		t.Errorf("db.Load of a v2 file: %v", err)
+	}
+	// And zdb.Load must point back for v1 files.
+	if _, err := Load(pv1); err == nil || !strings.Contains(err.Error(), "package db") {
+		t.Errorf("zdb.Load of a v1 file: %v", err)
+	}
+}
+
+func TestInflateMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]game.Value, 5000)
+	for i := range vals {
+		vals[i] = game.Value(rng.Intn(16))
+	}
+	tab := pack(t, "inflate", 4, vals)
+	z := roundtrip(t, tab, 256)
+	flat, err := z.Inflate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Size() != tab.Size() || flat.Bits() != tab.Bits() || flat.Name() != tab.Name() {
+		t.Fatalf("inflate header mismatch")
+	}
+	for i := uint64(0); i < tab.Size(); i++ {
+		if flat.Get(i) != tab.Get(i) {
+			t.Fatalf("entry %d: %d != %d", i, flat.Get(i), tab.Get(i))
+		}
+	}
+}
+
+func TestEmptyAndTinyTables(t *testing.T) {
+	z := roundtrip(t, pack(t, "one", 4, []game.Value{9}), 0)
+	if z.BlockLen() != DefaultBlockLen || z.Blocks() != 1 {
+		t.Errorf("single entry: blockLen %d, blocks %d", z.BlockLen(), z.Blocks())
+	}
+	if z.Get(0) != 9 {
+		t.Errorf("Get(0) = %d, want 9", z.Get(0))
+	}
+	empty, err := db.NewTable("empty", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ze := roundtrip(t, empty, 16)
+	if ze.Size() != 0 || ze.Blocks() != 0 {
+		t.Errorf("empty: size %d, blocks %d", ze.Size(), ze.Blocks())
+	}
+	if err := ze.Verify(); err != nil {
+		t.Errorf("empty verify: %v", err)
+	}
+}
+
+// BenchmarkZdbRandomGet is the acceptance benchmark: random access with
+// a warm block cache must be allocation-free in steady state.
+func BenchmarkZdbRandomGet(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]game.Value, 256*1024)
+	for i := range vals {
+		vals[i] = game.Value(rng.Intn(40))
+	}
+	tab, err := db.Pack("bench", 6, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	z, err := Compress(tab, DefaultBlockLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nBlocks := z.Blocks()
+	z.SetHotBlocks(nBlocks) // warm cache covers the working set
+	for i := uint64(0); i < z.Size(); i += DefaultBlockLen {
+		z.Get(i) // pre-decode every block
+	}
+	idx := make([]uint64, 8192)
+	for i := range idx {
+		idx[i] = uint64(rng.Intn(len(vals)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if z.Get(idx[i%len(idx)]) != vals[idx[i%len(idx)]] {
+			b.Fatal("wrong value")
+		}
+	}
+}
+
+// BenchmarkZdbColdGet measures the miss path: every Get decodes through
+// a single-block cache, exercising the pooled backing arrays.
+func BenchmarkZdbColdGet(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]game.Value, 256*1024)
+	for i := range vals {
+		vals[i] = game.Value(rng.Intn(40))
+	}
+	tab, err := db.Pack("bench", 6, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	z, err := Compress(tab, DefaultBlockLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	z.SetHotBlocks(1)
+	stride := uint64(DefaultBlockLen + 1) // new block almost every probe
+	b.ReportAllocs()
+	b.ResetTimer()
+	var i uint64
+	for n := 0; n < b.N; n++ {
+		z.Get(i % z.Size())
+		i += stride
+	}
+}
