@@ -11,6 +11,17 @@
 // the board's stone count must exist in -db. Both plain (v1) and
 // block-compressed (v2) files are accepted; the version is sniffed from
 // the header, so a directory may mix the two.
+//
+// With -server the same questions are answered by a running raserve
+// instead of local files, through the retrying client — reconnecting
+// with backoff on connection loss and backing off on overload replies:
+//
+//	raquery -server localhost:7101 -board 0,0,0,0,2,1,1,0,0,0,0,2
+//	raquery -server localhost:7101 -board ... -count 100 -retries 5 -timeout 10s
+//
+// -count repeats the query (a steady stream, for drills and smoke
+// tests); the exit status reports whether every call eventually
+// succeeded.
 package main
 
 import (
@@ -19,10 +30,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"retrograde/internal/awari"
 	"retrograde/internal/db"
 	"retrograde/internal/game"
+	"retrograde/internal/server"
 	"retrograde/internal/zdb"
 )
 
@@ -39,6 +52,10 @@ func run() error {
 	boardSpec := flag.String("board", "", "comma-separated pit counts, mover first (12 values)")
 	line := flag.Int("line", 0, "play out this many optimal plies")
 	slamName := flag.String("grandslam", "allowed", "grand-slam rule the databases were built with")
+	serverAddr := flag.String("server", "", "query a running raserve at this address instead of local files")
+	count := flag.Int("count", 1, "with -server: repeat the query this many times")
+	retries := flag.Int("retries", 3, "with -server: retries per call (reconnect on loss, back off on overload)")
+	timeout := flag.Duration("timeout", 10*time.Second, "with -server: per-call deadline (0 = none)")
 	flag.Parse()
 	if *boardSpec == "" {
 		return fmt.Errorf("-board is required")
@@ -50,6 +67,10 @@ func run() error {
 	rules := awari.Standard
 	if *slamName == "forfeit" {
 		rules.GrandSlam = awari.GrandSlamForfeit
+	}
+
+	if *serverAddr != "" {
+		return queryServer(*serverAddr, board, *line, *count, *retries, *timeout)
 	}
 
 	stones := board.Stones()
@@ -85,6 +106,58 @@ func run() error {
 
 	cur := board
 	return play(rules, cur, lookup, *line)
+}
+
+// queryServer answers from a running raserve through the retrying
+// client. With count > 1 the same query streams repeatedly — a drill
+// workload whose exit status says whether the client rode out whatever
+// happened to the server in between.
+func queryServer(addr string, board awari.Board, line, count, retries int, timeout time.Duration) error {
+	c, err := server.DialConfig(addr, server.ClientConfig{Retries: retries, Timeout: timeout})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	for i := 0; i < count; i++ {
+		pit, v, err := c.BestMove(board)
+		if err != nil {
+			return fmt.Errorf("call %d/%d: %w", i+1, count, err)
+		}
+		if count > 1 {
+			fmt.Printf("call %3d/%d  value=%d", i+1, count, v)
+			if pit >= 0 {
+				fmt.Printf("  best pit %d", pit)
+			}
+			fmt.Println()
+			continue
+		}
+		fmt.Printf("stones=%d value=%d (mover captures %d of %d)\n", board.Stones(), v, v, board.Stones())
+		if pit >= 0 {
+			fmt.Printf("best move: pit %d\n", pit)
+		} else {
+			fmt.Println("terminal position")
+		}
+		if line > 0 {
+			_, moves, err := c.Line(board, line)
+			if err != nil {
+				return err
+			}
+			cur := board
+			for ply, p := range moves {
+				cur, _ = awari.Standard.Apply(cur, int(p))
+				v, err := c.Value(cur)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("ply %2d  plays pit %d  ->  %v  value=%d\n", ply+1, p, cur, v)
+			}
+		}
+	}
+	if st := c.Stats(); st.Reconnects > 0 || st.UnknownReplies > 0 {
+		fmt.Printf("client: %d reconnects, %d unknown replies\n", st.Reconnects, st.UnknownReplies)
+	}
+	return nil
 }
 
 // loadRung sniffs the on-disk version and returns a random-access getter

@@ -15,6 +15,11 @@
 //	curl 'localhost:7101/stats'
 //
 // SIGINT/SIGTERM drains in-flight queries before exiting.
+//
+// For fault drills, -faults injects a deterministic fault schedule into
+// every accepted connection (see internal/faultnet):
+//
+//	raserve -db dbs/ -faults seed=7,maxread=3,delay=2ms,every=10
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"syscall"
 
 	"retrograde/internal/awari"
+	"retrograde/internal/faultnet"
 	"retrograde/internal/server"
 )
 
@@ -44,6 +50,7 @@ func run() error {
 	workers := flag.Int("workers", 0, "query worker goroutines (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "bounded batch queue depth (0 = default)")
 	slamName := flag.String("grandslam", "allowed", "grand-slam rule the databases were built with")
+	faults := flag.String("faults", "", "inject faults into every connection, e.g. seed=7,maxread=3,delay=2ms,every=10,cut=4096 (testing only)")
 	flag.Parse()
 
 	budget, err := parseBytes(*mem)
@@ -54,14 +61,23 @@ func run() error {
 	if *slamName == "forfeit" {
 		rules.GrandSlam = awari.GrandSlamForfeit
 	}
-
-	s, err := server.Start(*listen, server.Config{
+	plan, err := faultnet.Parse(*faults)
+	if err != nil {
+		return err
+	}
+	cfg := server.Config{
 		Dir:        *dir,
 		Rules:      rules,
 		MemBudget:  budget,
 		Workers:    *workers,
 		QueueDepth: *queue,
-	})
+	}
+	if *faults != "" {
+		cfg.WrapConn = plan.Wrapper()
+		fmt.Printf("raserve: FAULT INJECTION ACTIVE: %s\n", plan)
+	}
+
+	s, err := server.Start(*listen, cfg)
 	if err != nil {
 		return err
 	}

@@ -245,7 +245,7 @@ func TestRunAllQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"E1:", "E2:", "E3:", "E4:", "E5:", "E6a:", "E6b:", "E7:", "E8:", "E9:", "E10:", "E11a:", "E11b:", "A1:", "A2:", "A3:", "A4:", "V1:"} {
+	for _, want := range []string{"E1:", "E2:", "E3:", "E4:", "E5:", "E6a:", "E6b:", "E7:", "E8:", "E9:", "E10:", "E11a:", "E11b:", "E12:", "A1:", "A2:", "A3:", "A4:", "V1:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll output missing %q", want)
 		}
@@ -309,6 +309,36 @@ func TestE8RealWire(t *testing.T) {
 		if tbl.Cell(r, 4) != "identical to sequential" {
 			t.Errorf("row %d check: %s", r, tbl.Cell(r, 4))
 		}
+	}
+}
+
+// TestE12Faults runs the fault drills at test scale: every completed
+// scenario must produce a bit-identical database, the wedge must surface
+// a typed NodeFailedError, and the kill must actually kill (no
+// "unexpected" cells).
+func TestE12Faults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault drills (seconds of injected timeouts) skipped in -short mode")
+	}
+	env := quickEnv(t)
+	tbl, err := E12Faults(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 6 {
+		t.Fatalf("rows = %d, want 6", tbl.Rows())
+	}
+	for r := 0; r < tbl.Rows(); r++ {
+		outcome, check := tbl.Cell(r, 2), tbl.Cell(r, 3)
+		if check == "MISMATCH" || check == "unexpected" {
+			t.Errorf("row %d (%s): outcome %q check %q", r, tbl.Cell(r, 0), outcome, check)
+		}
+	}
+	if !strings.Contains(tbl.Cell(4, 2), "NodeFailedError") {
+		t.Errorf("wedge row outcome %q does not name NodeFailedError", tbl.Cell(4, 2))
+	}
+	if tbl.Cell(5, 3) != "identical to sequential" {
+		t.Errorf("resume row check = %q", tbl.Cell(5, 3))
 	}
 }
 

@@ -238,24 +238,47 @@ func (e Resumable) Solve(g game.Game) (*Result, error) {
 
 // writeCheckpoint writes atomically via a temporary file.
 func (e Resumable) writeCheckpoint(w *Worker, waves int) error {
-	tmp := e.Path + ".tmp"
+	return WriteFileAtomic(e.Path, func(out io.Writer) error {
+		return w.WriteCheckpoint(out, waves)
+	})
+}
+
+// WriteFileAtomic writes a file so that a crash at any point leaves
+// either the complete new contents or the prior file untouched: the data
+// goes to path+".tmp", is fsynced before close (a rename alone does not
+// flush the page cache — a crash after an unsynced rename can persist an
+// empty or truncated file over a valid one), and only then renamed over
+// path. The temporary file is removed on every error path.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(f)
-	if err := w.WriteCheckpoint(bw, waves); err != nil {
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw); err != nil {
+		return fail(err)
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, e.Path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 type crcWriter struct {

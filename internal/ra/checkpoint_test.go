@@ -3,6 +3,7 @@ package ra
 import (
 	"bytes"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -127,6 +128,60 @@ func TestResumableFreshRun(t *testing.T) {
 		if got.Values[idx] != want.Values[idx] {
 			t.Fatalf("resumable fresh run differs at %d", idx)
 		}
+	}
+}
+
+// TestAtomicWriteNeverReplacesValidCheckpoint interrupts a checkpoint
+// write mid-stream and checks the prior file survives intact and no
+// .tmp residue is left — the crash-mid-write contract of WriteFileAtomic.
+func TestAtomicWriteNeverReplacesValidCheckpoint(t *testing.T) {
+	g := ttt.New()
+	path := filepath.Join(t.TempDir(), "ttt.racp")
+
+	part := Cyclic(g.Size(), 1)
+	w := NewWorker(g, part, 0)
+	w.Init()
+	if err := WriteFileAtomic(path, func(out io.Writer) error {
+		return w.WriteCheckpoint(out, 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A write that dies mid-stream: some bytes, then the plug is pulled.
+	boom := errors.New("simulated crash")
+	err = WriteFileAtomic(path, func(out io.Writer) error {
+		if _, err := out.Write(valid[:len(valid)/2]); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("interrupted write returned %v, want the injected crash", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("interrupted write leaked %s.tmp (stat: %v)", path, err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(valid, after) {
+		t.Fatal("interrupted write clobbered the valid prior checkpoint")
+	}
+	if _, _, err := ReadCheckpoint(g, bytes.NewReader(after)); err != nil {
+		t.Fatalf("prior checkpoint no longer readable: %v", err)
+	}
+
+	// A crash that leaves a partial .tmp behind must not disturb resume.
+	if err := os.WriteFile(path+".tmp", valid[:8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Resumable{Path: path}).Solve(g); err != nil {
+		t.Fatalf("resume with stale .tmp residue failed: %v", err)
 	}
 }
 

@@ -16,10 +16,14 @@ package remote
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"retrograde/internal/combine"
 	"retrograde/internal/game"
@@ -28,10 +32,12 @@ import (
 
 // Frame types on the wire.
 const (
-	frameBatch byte = iota + 1 // combined updates
-	frameEOW                   // end-of-wave sentinel (per peer connection)
-	frameDone                  // phase completion report to the coordinator
-	frameGo                    // coordinator starts the next phase
+	frameBatch     byte = iota + 1 // combined updates
+	frameEOW                       // end-of-wave sentinel (per peer connection)
+	frameDone                      // phase completion report to the coordinator
+	frameGo                        // coordinator starts the next phase
+	frameHeartbeat                 // keep-alive so idle healthy conns never trip the deadline
+	frameBye                       // orderly shutdown notice; EOF without it means a crash
 )
 
 // Phases, mirroring the simulated engine's protocol.
@@ -50,6 +56,32 @@ type Engine struct {
 	Batch int
 	// Group is the block-cyclic partition group size; 0 means 1.
 	Group uint64
+
+	// Timeout bounds failure detection: a node that sends nothing (not
+	// even a heartbeat) for this long is declared dead, and a write that
+	// cannot complete within it fails. 0 means DefaultTimeout. A solve
+	// with a crashed or wedged node returns a NodeFailedError within
+	// roughly this bound instead of hanging.
+	Timeout time.Duration
+	// Heartbeat is the keep-alive interval; 0 means Timeout/4. Negative
+	// disables heartbeats entirely — only for measuring their cost
+	// (experiments/E12): without beats a healthy-but-quiet peer trips
+	// the read deadline, so pair a disabled heartbeat with a Timeout
+	// longer than the whole solve.
+	Heartbeat time.Duration
+
+	// CheckpointDir enables crash-resumable solves: each node persists
+	// its shard there every CheckpointEvery waves, and a later Solve in
+	// the same directory resumes from the newest wave checkpointed by
+	// every node. Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the wave interval between checkpoints; 0 means 8.
+	CheckpointEvery int
+
+	// WrapConn, when non-nil, wraps every mesh connection endpoint
+	// (local's view of the conn to peer) — the fault-injection hook for
+	// internal/faultnet. Production runs leave it nil.
+	WrapConn func(local, peer int, c net.Conn) net.Conn
 }
 
 func (e Engine) workers() int {
@@ -100,9 +132,23 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, *Report, error) {
 		return nil, nil, err
 	}
 
+	// With checkpointing on, a previous run's state in the directory
+	// takes precedence over a fresh start.
+	var resume *resumeState
+	if e.CheckpointDir != "" {
+		if err := os.MkdirAll(e.CheckpointDir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("remote: checkpoint dir: %w", err)
+		}
+		resume, err = loadResume(e.CheckpointDir, g, p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("remote: resume: %w", err)
+		}
+	}
+
 	// Bootstrap: every node listens on loopback, then the mesh is built
 	// by having node i dial every node j > i; the dialer announces its id
-	// in a one-byte hello.
+	// in a one-byte hello. Hellos carry a read deadline so a wedged
+	// bootstrap fails instead of hanging.
 	listeners := make([]net.Listener, p)
 	for i := range listeners {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -130,10 +176,15 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, *Report, error) {
 					bootErr <- err
 					return
 				}
+				c.SetReadDeadline(time.Now().Add(e.timeout()))
 				var hello [1]byte
 				if _, err := io.ReadFull(c, hello[:]); err != nil {
 					bootErr <- err
 					return
+				}
+				c.SetReadDeadline(time.Time{})
+				if e.WrapConn != nil {
+					c = e.WrapConn(i, int(hello[0]), c)
 				}
 				conns[i][hello[0]] = c
 			}
@@ -141,12 +192,15 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, *Report, error) {
 	}
 	for i := 0; i < p; i++ {
 		for j := i + 1; j < p; j++ {
-			c, err := net.Dial("tcp", listeners[j].Addr().String())
+			c, err := net.DialTimeout("tcp", listeners[j].Addr().String(), e.timeout())
 			if err != nil {
 				return nil, nil, fmt.Errorf("remote: dial: %w", err)
 			}
 			if _, err := c.Write([]byte{byte(i)}); err != nil {
 				return nil, nil, err
+			}
+			if e.WrapConn != nil {
+				c = e.WrapConn(i, j, c)
 			}
 			conns[i][j] = c
 		}
@@ -162,7 +216,7 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, *Report, error) {
 	errs := make(chan error, p)
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
-		nodes[i] = newNode(i, g, part, e.batch(), conns[i])
+		nodes[i] = newNode(i, g, part, e, conns[i], resume)
 	}
 	for _, n := range nodes {
 		wg.Add(1)
@@ -175,8 +229,24 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, *Report, error) {
 	}
 	wg.Wait()
 	close(errs)
+	// When the mesh unwinds, secondary nodes report the cascade (their
+	// peers' sockets closing); prefer the error that names a failed node.
+	var firstErr error
 	for err := range errs {
-		return nil, nil, err
+		if firstErr == nil {
+			firstErr = err
+		}
+		var nf *NodeFailedError
+		if errors.As(err, &nf) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if e.CheckpointDir != "" {
+		clearCheckpoints(e.CheckpointDir)
 	}
 
 	values := make([]game.Value, g.Size())
@@ -190,8 +260,8 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, *Report, error) {
 		n.w.FillLoop(loopBits)
 		stats[i] = n.w.Stats
 		loops += n.w.Stats.LoopResolved
-		rep.Frames += n.framesSent
-		rep.Bytes += n.bytesSent
+		rep.Frames += n.framesSent.Load()
+		rep.Bytes += n.bytesSent.Load()
 		rep.DataFrames += n.dataFrames
 	}
 	return &ra.Result{
@@ -230,7 +300,15 @@ type node struct {
 	events  chan event
 	buf     *combine.Buffer[ra.Update]
 
+	timeout   time.Duration
+	hb        time.Duration
+	ckptDir   string
+	ckptEvery int
+	resumed   bool
+	startWave int // the wave whose completion the initial done reports
+
 	waveNow  int
+	curPhase byte // the phase this node is currently in
 	stash    map[int]*pending
 	eows     int  // end-of-wave sentinels seen for waveNow
 	expanded bool // this node finished its own expansion for waveNow
@@ -245,26 +323,44 @@ type node struct {
 	doneWork  uint64
 	waves     int
 
-	framesSent, bytesSent, dataFrames uint64
+	// framesSent/bytesSent are atomic: the heartbeat goroutine sends
+	// concurrently with the run loop.
+	framesSent, bytesSent atomic.Uint64
+	dataFrames            uint64
 }
 
-func newNode(id int, g game.Game, part *ra.Partition, batch int, conns []net.Conn) *node {
+func newNode(id int, g game.Game, part *ra.Partition, e Engine, conns []net.Conn, resume *resumeState) *node {
 	n := &node{
-		id:     id,
-		w:      ra.NewWorker(g, part, id),
-		peers:  len(conns) - 1,
-		conns:  conns,
-		events: make(chan event, 4*len(conns)),
-		stash:  map[int]*pending{},
-		quit:   make(chan struct{}),
+		id:        id,
+		peers:     len(conns) - 1,
+		conns:     conns,
+		events:    make(chan event, 4*len(conns)),
+		stash:     map[int]*pending{},
+		quit:      make(chan struct{}),
+		timeout:   e.timeout(),
+		hb:        e.heartbeat(),
+		ckptDir:   e.CheckpointDir,
+		ckptEvery: e.ckptEvery(),
+	}
+	if resume != nil {
+		// The restored worker's state is "all waves before resume.wave
+		// complete"; the initial done therefore reports resume.wave-1 and
+		// the coordinator replays resume.wave.
+		n.w = resume.workers[id]
+		n.resumed = true
+		n.startWave = resume.wave - 1
+		n.waveNow = n.startWave
+		n.waves = resume.waves
+	} else {
+		n.w = ra.NewWorker(g, part, id)
 	}
 	n.writers = make([]*writer, len(conns))
 	for j, c := range conns {
 		if c != nil {
-			n.writers[j] = newWriter(c)
+			n.writers[j] = newWriter(c, n.timeout, n.peerFailed(j))
 		}
 	}
-	n.buf = combine.MustNew(len(conns), batch, func(dst int, b []ra.Update) {
+	n.buf = combine.MustNew(len(conns), e.batch(), func(dst int, b []ra.Update) {
 		if dst == id {
 			for _, u := range b {
 				n.w.Apply(u)
@@ -277,6 +373,18 @@ func newNode(id int, g game.Game, part *ra.Partition, batch int, conns []net.Con
 	return n
 }
 
+// peerFailed returns a callback delivering a peer-failure cause to the
+// run loop (which wraps it with its phase and wave); used by the reader
+// and writer goroutines of peer j's connection.
+func (n *node) peerFailed(j int) func(error) {
+	return func(cause error) {
+		select {
+		case n.events <- event{from: j, err: cause}:
+		case <-n.quit:
+		}
+	}
+}
+
 // run is the node's main loop: read events until the finish phase.
 func (n *node) run() error {
 	for j, c := range n.conns {
@@ -284,6 +392,9 @@ func (n *node) run() error {
 			continue
 		}
 		go n.reader(j, c)
+	}
+	if n.peers > 0 && n.hb > 0 {
+		go n.heartbeats(n.hb)
 	}
 	defer func() {
 		close(n.quit)
@@ -294,15 +405,18 @@ func (n *node) run() error {
 		}
 	}()
 
-	// Initialisation, then act as if a wave-0 phase completed.
-	n.w.Init()
+	// Initialisation, then act as if a wave-startWave phase completed
+	// (wave 0 on a fresh start, the checkpointed wave on resume).
+	if !n.resumed {
+		n.w.Init()
+	}
 	n.phaseNow = 0
-	n.sendDone(0, 0)
+	n.sendDone(n.startWave, 0)
 
 	for !n.finished {
 		ev := <-n.events
 		if ev.err != nil {
-			return ev.err
+			return &NodeFailedError{Node: ev.from, Phase: phaseName(n.curPhase), Wave: n.waveNow, Err: ev.err}
 		}
 		switch ev.kind {
 		case frameBatch:
@@ -347,12 +461,22 @@ func (n *node) applyBatch(updates []ra.Update) {
 // phase starts a new phase on this node; phaseFinish sets n.finished.
 func (n *node) phase(wave int, ph byte) error {
 	n.waveNow = wave
+	n.curPhase = ph
 	n.eows = 0
 	n.expanded = false
 	n.reported = false
 	n.work = 0
 	switch ph {
 	case phaseExpand:
+		// Entry of an expand wave is the one checkpoint-safe moment: all
+		// earlier waves are fully applied, this wave has not started, and
+		// its traffic (even the already-stashed part) will be regenerated
+		// by the re-run.
+		if n.ckptDir != "" && wave%n.ckptEvery == 0 {
+			if err := n.writeCheckpoint(wave); err != nil {
+				return err
+			}
+		}
 		n.w.BeginWave()
 		if pd := n.stash[wave]; pd != nil {
 			for _, b := range pd.batches {
@@ -387,6 +511,13 @@ func (n *node) phase(wave int, ph byte) error {
 		n.eows = n.peers // no batches in this phase
 		n.maybeReport()
 	case phaseFinish:
+		// Announce the orderly shutdown before sockets start closing, so
+		// peers can tell this EOF from a crash.
+		for j := range n.conns {
+			if j != n.id && n.conns[j] != nil {
+				n.sendFrame(j, encodeCtl(frameBye, wave, 0, 0))
+			}
+		}
 		n.finished = true
 	default:
 		return fmt.Errorf("unknown phase %d", ph)
@@ -415,7 +546,7 @@ func (n *node) sendDone(wave int, work uint64) {
 
 // coordinatorDone runs on node 0.
 func (n *node) coordinatorDone(wave int, work uint64) {
-	if wave != n.waveNow && !(n.phaseNow == 0 && wave == 0) {
+	if wave != n.waveNow && !(n.phaseNow == 0 && wave == n.startWave) {
 		// Done reports always follow the go that started their wave.
 		panic(fmt.Sprintf("remote: coordinator got done for wave %d in wave %d", wave, n.waveNow))
 	}
@@ -455,24 +586,38 @@ func (n *node) coordinatorDone(wave int, work uint64) {
 }
 
 func (n *node) sendFrame(dst int, frame []byte) {
-	n.framesSent++
-	n.bytesSent += uint64(len(frame))
+	n.framesSent.Add(1)
+	n.bytesSent.Add(uint64(len(frame)))
 	n.writers[dst].enqueue(frame)
 }
 
 // reader decodes frames from one peer connection onto the event channel.
+// Every read is armed with the failure-detection deadline: heartbeats
+// keep a healthy idle connection alive, so tripping it means the peer is
+// wedged. An EOF counts as orderly only after the peer's bye frame;
+// without one, the peer crashed.
 func (n *node) reader(from int, c net.Conn) {
 	br := bufio.NewReader(c)
+	sawBye := false
 	for {
+		c.SetReadDeadline(time.Now().Add(n.timeout))
 		ev, err := readFrame(br)
 		if err != nil {
-			if err != io.EOF {
-				select {
-				case n.events <- event{err: err}:
-				case <-n.quit:
-				}
+			if err == io.EOF && sawBye {
+				return
 			}
+			if err == io.EOF {
+				err = fmt.Errorf("connection closed without bye: %w", io.ErrUnexpectedEOF)
+			}
+			n.peerFailed(from)(err)
 			return
+		}
+		switch ev.kind {
+		case frameHeartbeat:
+			continue // its arrival already reset the deadline
+		case frameBye:
+			sawBye = true
+			continue
 		}
 		ev.from = from
 		select {
@@ -560,9 +705,9 @@ func readFrame(r *bufio.Reader) (event, error) {
 			return event{}, fmt.Errorf("remote: go frame size mismatch")
 		}
 		ev.phase = body[5]
-	case frameEOW:
+	case frameEOW, frameHeartbeat, frameBye:
 		if len(body) != 5 {
-			return event{}, fmt.Errorf("remote: eow frame size mismatch")
+			return event{}, fmt.Errorf("remote: ctl frame size mismatch")
 		}
 	default:
 		return event{}, fmt.Errorf("remote: unknown frame type %d", ev.kind)
@@ -574,16 +719,18 @@ func readFrame(r *bufio.Reader) (event, error) {
 // queue drained by a dedicated goroutine, so senders never block on slow
 // peers (which could deadlock the mesh).
 type writer struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  [][]byte
-	closed bool
-	conn   net.Conn
-	done   chan struct{}
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   [][]byte
+	closed  bool
+	conn    net.Conn
+	done    chan struct{}
+	timeout time.Duration
+	onErr   func(error) // reports a stalled or failed write; may be nil
 }
 
-func newWriter(c net.Conn) *writer {
-	w := &writer{conn: c, done: make(chan struct{})}
+func newWriter(c net.Conn, timeout time.Duration, onErr func(error)) *writer {
+	w := &writer{conn: c, done: make(chan struct{}), timeout: timeout, onErr: onErr}
 	w.cond = sync.NewCond(&w.mu)
 	go w.loop()
 	return w
@@ -610,6 +757,11 @@ func (w *writer) close() {
 func (w *writer) loop() {
 	defer close(w.done)
 	bw := bufio.NewWriter(w.conn)
+	fail := func(err error) {
+		if w.onErr != nil {
+			w.onErr(err)
+		}
+	}
 	for {
 		w.mu.Lock()
 		for len(w.queue) == 0 && !w.closed {
@@ -623,12 +775,20 @@ func (w *writer) loop() {
 		batch := w.queue
 		w.queue = nil
 		w.mu.Unlock()
+		// A write deadline bounds every flush: a peer that stops reading
+		// (wedged, not crashed) would otherwise stall this goroutine — and
+		// close() waits for it, so the whole solve would hang.
+		if w.timeout > 0 {
+			w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+		}
 		for _, frame := range batch {
 			if _, err := bw.Write(frame); err != nil {
+				fail(err)
 				return
 			}
 		}
 		if err := bw.Flush(); err != nil {
+			fail(err)
 			return
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"testing"
+	"time"
 
 	"retrograde/internal/awari"
 	"retrograde/internal/chess"
@@ -179,7 +180,7 @@ func TestReadFrameRejectsGarbage(t *testing.T) {
 
 func TestWriterDrainsOnClose(t *testing.T) {
 	a, b := net.Pipe()
-	w := newWriter(a)
+	w := newWriter(a, time.Second, nil)
 	done := make(chan []byte, 1)
 	go func() {
 		buf := make([]byte, 10)

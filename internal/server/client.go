@@ -5,26 +5,83 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"retrograde/internal/awari"
 	"retrograde/internal/game"
 )
 
+// ErrClientClosed is returned by every call — pending or future — on a
+// Client that has been Closed.
+var ErrClientClosed = errors.New("server: client closed")
+
+// ClientConfig tunes the client's failure handling. The zero value keeps
+// the original semantics: no retries, no per-call deadline.
+type ClientConfig struct {
+	// Retries is how many times a failed attempt is retried. Every query
+	// kind is an idempotent read, so retrying is always safe: connection
+	// errors trigger a reconnect, overload replies just back off. 0
+	// disables retries.
+	Retries int
+	// Backoff is the delay before the first retry, doubled per attempt
+	// with jitter; 0 means 50ms.
+	Backoff time.Duration
+	// MaxBackoff caps the backoff growth; 0 means 2s.
+	MaxBackoff time.Duration
+	// Timeout bounds one call end to end — every attempt, backoff and
+	// reconnect included. 0 means no deadline.
+	Timeout time.Duration
+}
+
+func (cfg ClientConfig) backoff() time.Duration {
+	if cfg.Backoff > 0 {
+		return cfg.Backoff
+	}
+	return 50 * time.Millisecond
+}
+
+func (cfg ClientConfig) maxBackoff() time.Duration {
+	if cfg.MaxBackoff > 0 {
+		return cfg.MaxBackoff
+	}
+	return 2 * time.Second
+}
+
 // Client speaks the binary protocol to a Server. It is safe for
 // concurrent use: batches are pipelined over one connection and matched
-// to their replies by request id.
+// to their replies by request id. A client with a non-zero
+// ClientConfig.Retries survives connection loss by redialing with
+// exponential backoff.
 type Client struct {
-	conn net.Conn
+	addr string
+	cfg  ClientConfig
 
-	wmu sync.Mutex
-	bw  *bufio.Writer
+	wmu sync.Mutex // serialises frame writes to the current connection
 
-	mu      sync.Mutex
-	nextID  uint32
-	pending map[uint32]chan clientReply
-	readErr error
+	mu        sync.Mutex
+	conn      net.Conn // nil while disconnected
+	bw        *bufio.Writer
+	pending   map[uint32]chan clientReply
+	nextID    uint32
+	connErr   error // why the last connection died
+	closed    bool
+	connected bool // a connection has succeeded at least once
+
+	unknown    atomic.Uint64 // replies that matched no waiting call
+	reconnects atomic.Uint64
+}
+
+// ClientStats are the client-side wire counters.
+type ClientStats struct {
+	// UnknownReplies counts replies whose request id matched no waiting
+	// call: a late reply after a call deadline, or a confused server.
+	UnknownReplies uint64
+	// Reconnects counts successful re-dials after a connection loss.
+	Reconnects uint64
 }
 
 type clientReply struct {
@@ -32,32 +89,92 @@ type clientReply struct {
 	overloaded bool
 }
 
-// Dial connects to a server at addr.
+// Dial connects to a server at addr with the zero (no-retry) config.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialConfig(addr, ClientConfig{})
+}
+
+// DialConfig connects to a server at addr. The initial dial failure is
+// returned immediately (a wrong address should not burn retries);
+// reconnection and retry policy apply from then on.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	c := &Client{addr: addr, cfg: cfg, pending: map[uint32]chan clientReply{}}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
 		return nil, err
 	}
-	c := &Client{
-		conn:    conn,
-		bw:      bufio.NewWriter(conn),
-		pending: map[uint32]chan clientReply{},
-	}
-	go c.reader()
 	return c, nil
 }
 
-// Close tears the connection down; concurrent calls fail.
-func (c *Client) Close() error { return c.conn.Close() }
+// Stats returns the client's wire counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		UnknownReplies: c.unknown.Load(),
+		Reconnects:     c.reconnects.Load(),
+	}
+}
+
+// connectLocked (re-)establishes the connection; c.mu must be held.
+func (c *Client) connectLocked() error {
+	if c.closed {
+		return ErrClientClosed
+	}
+	if c.conn != nil {
+		return nil
+	}
+	dialTimeout := c.cfg.Timeout
+	if dialTimeout <= 0 {
+		dialTimeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, dialTimeout)
+	if err != nil {
+		c.connErr = err
+		return err
+	}
+	if c.connected {
+		c.reconnects.Add(1)
+	}
+	c.connected = true
+	c.conn = conn
+	c.bw = bufio.NewWriter(conn)
+	c.connErr = nil
+	go c.reader(conn)
+	return nil
+}
+
+// Close tears the client down: the connection is closed, pending calls
+// fail with ErrClientClosed, and so does everything after. Closing twice
+// is a no-op.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn, c.bw = nil, nil
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
 
 // reader dispatches reply frames to their waiting batches. On connection
-// error every pending and future call fails with that error.
-func (c *Client) reader() {
-	br := bufio.NewReader(c.conn)
+// error every call pending on this connection fails; whether the client
+// redials is the retry policy's call.
+func (c *Client) reader(conn net.Conn) {
+	br := bufio.NewReader(conn)
 	for {
 		kind, body, err := readFrame(br)
 		if err != nil {
-			c.fail(fmt.Errorf("server: connection lost: %w", err))
+			c.dropConn(conn, fmt.Errorf("server: connection lost: %w", err))
 			return
 		}
 		var rep clientReply
@@ -66,18 +183,18 @@ func (c *Client) reader() {
 		case frameReply:
 			id, rep.answers, err = decodeAnswers(body)
 			if err != nil {
-				c.fail(err)
+				c.dropConn(conn, err)
 				return
 			}
 		case frameOverload:
 			if len(body) < 4 {
-				c.fail(errors.New("server: truncated overload frame"))
+				c.dropConn(conn, errors.New("server: truncated overload frame"))
 				return
 			}
 			id = binary.LittleEndian.Uint32(body)
 			rep.overloaded = true
 		default:
-			c.fail(fmt.Errorf("server: unexpected frame type %d", kind))
+			c.dropConn(conn, fmt.Errorf("server: unexpected frame type %d", kind))
 			return
 		}
 		c.mu.Lock()
@@ -86,32 +203,87 @@ func (c *Client) reader() {
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- rep
+		} else {
+			// Nobody is waiting: the call timed out or the server sent an
+			// id it invented. Count it — silent drops hide protocol bugs.
+			c.unknown.Add(1)
 		}
 	}
 }
 
-func (c *Client) fail(err error) {
-	c.conn.Close()
+// dropConn retires a broken connection: calls pending on it fail, and
+// the next attempt redials. No-op if conn is no longer current.
+func (c *Client) dropConn(conn net.Conn, err error) {
+	conn.Close()
 	c.mu.Lock()
-	if c.readErr == nil {
-		c.readErr = err
+	defer c.mu.Unlock()
+	if c.conn != conn {
+		return
 	}
+	c.conn, c.bw = nil, nil
+	c.connErr = err
 	for id, ch := range c.pending {
 		close(ch)
 		delete(c.pending, id)
 	}
+}
+
+func (c *Client) forget(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
 	c.mu.Unlock()
 }
 
 // Do sends one batch and waits for its answers (same order as the
-// queries). It returns ErrOverloaded when the server sheds the batch.
+// queries). It returns ErrOverloaded when the server sheds the batch and
+// retries are exhausted (or disabled), and ErrClientClosed after Close.
 func (c *Client) Do(qs []Query) ([]Answer, error) {
-	c.mu.Lock()
-	if c.readErr != nil {
-		err := c.readErr
-		c.mu.Unlock()
-		return nil, err
+	var deadline time.Time
+	if c.cfg.Timeout > 0 {
+		deadline = time.Now().Add(c.cfg.Timeout)
 	}
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		answers, retryable, err := c.attempt(qs, deadline)
+		if err == nil {
+			return answers, nil
+		}
+		lastErr = err
+		attempts = attempt + 1
+		if !retryable || attempt == c.cfg.Retries {
+			break
+		}
+		// Exponential backoff with jitter, bounded by the call deadline.
+		d := c.cfg.backoff()
+		for i := 0; i < attempt && d < c.cfg.maxBackoff(); i++ {
+			d *= 2
+		}
+		if max := c.cfg.maxBackoff(); d > max {
+			d = max
+		}
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+		if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+			lastErr = fmt.Errorf("server: call deadline %v exhausted: %w", c.cfg.Timeout, lastErr)
+			break
+		}
+		time.Sleep(d)
+	}
+	if attempts > 1 {
+		return nil, fmt.Errorf("server: giving up after %d attempts: %w", attempts, lastErr)
+	}
+	return nil, lastErr
+}
+
+// attempt runs one send/receive round. retryable marks failures a
+// reconnect or backoff could cure: connection trouble and overloads.
+func (c *Client) attempt(qs []Query, deadline time.Time) (answers []Answer, retryable bool, err error) {
+	c.mu.Lock()
+	if err := c.connectLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, !errors.Is(err, ErrClientClosed), err
+	}
+	conn, bw := c.conn, c.bw
 	id := c.nextID
 	c.nextID++
 	ch := make(chan clientReply, 1)
@@ -120,38 +292,55 @@ func (c *Client) Do(qs []Query) ([]Answer, error) {
 
 	frame, err := encodeQueries(id, qs)
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, err
+		c.forget(id)
+		return nil, false, err
 	}
 	c.wmu.Lock()
-	_, err = c.bw.Write(frame)
+	conn.SetWriteDeadline(deadline) // zero deadline = no limit
+	_, err = bw.Write(frame)
 	if err == nil {
-		err = c.bw.Flush()
+		err = bw.Flush()
 	}
 	c.wmu.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, err
+		c.forget(id)
+		c.dropConn(conn, err)
+		return nil, true, err
 	}
 
-	rep, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.readErr
-		c.mu.Unlock()
-		return nil, err
+	var timer <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timer = t.C
 	}
-	if rep.overloaded {
-		return nil, ErrOverloaded
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err, closed := c.connErr, c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil, false, ErrClientClosed
+			}
+			if err == nil {
+				err = errors.New("server: connection lost")
+			}
+			return nil, true, err
+		}
+		if rep.overloaded {
+			return nil, true, ErrOverloaded
+		}
+		if len(rep.answers) != len(qs) {
+			return nil, false, fmt.Errorf("server: %d answers for %d queries", len(rep.answers), len(qs))
+		}
+		return rep.answers, false, nil
+	case <-timer:
+		// The reply may still arrive; with no waiter left it will land in
+		// the unknown-replies counter.
+		c.forget(id)
+		return nil, false, fmt.Errorf("server: call timed out after %v", c.cfg.Timeout)
 	}
-	if len(rep.answers) != len(qs) {
-		return nil, fmt.Errorf("server: %d answers for %d queries", len(rep.answers), len(qs))
-	}
-	return rep.answers, nil
 }
 
 // one runs a single query and surfaces its per-query error.

@@ -36,6 +36,17 @@ type Config struct {
 	// QueueDepth bounds the batch queue; a full queue sheds load with an
 	// overload response. 0 means 64.
 	QueueDepth int
+	// ReadTimeout, WriteTimeout and IdleTimeout bound the embedded HTTP
+	// server (request read, response write, keep-alive idle); zero means
+	// 30s, 60s and 2m. They do not apply to binary-protocol connections,
+	// which are long-lived and may idle between batches.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+	// WrapConn, when non-nil, wraps every accepted connection — the
+	// fault-injection hook for internal/faultnet (see raserve -faults).
+	// Production setups leave it nil.
+	WrapConn func(net.Conn) net.Conn
 }
 
 func (c Config) workers() int {
@@ -50,6 +61,27 @@ func (c Config) queueDepth() int {
 		return c.QueueDepth
 	}
 	return 64
+}
+
+func (c Config) readTimeout() time.Duration {
+	if c.ReadTimeout > 0 {
+		return c.ReadTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c Config) writeTimeout() time.Duration {
+	if c.WriteTimeout > 0 {
+		return c.WriteTimeout
+	}
+	return 60 * time.Second
+}
+
+func (c Config) idleTimeout() time.Duration {
+	if c.IdleTimeout > 0 {
+		return c.IdleTimeout
+	}
+	return 2 * time.Minute
 }
 
 // job is one admitted batch travelling through the queue.
@@ -117,7 +149,12 @@ func Start(addr string, cfg Config) (*Server, error) {
 		conns: map[net.Conn]struct{}{},
 		httpL: newChanListener(l.Addr()),
 	}
-	s.httpSrv = &http.Server{Handler: s.httpMux()}
+	s.httpSrv = &http.Server{
+		Handler:      s.httpMux(),
+		ReadTimeout:  cfg.readTimeout(),
+		WriteTimeout: cfg.writeTimeout(),
+		IdleTimeout:  cfg.idleTimeout(),
+	}
 	for i := 0; i < cfg.workers(); i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -303,6 +340,9 @@ func (s *Server) acceptLoop() {
 		c, err := s.l.Accept()
 		if err != nil {
 			return
+		}
+		if s.cfg.WrapConn != nil {
+			c = s.cfg.WrapConn(c)
 		}
 		s.wg.Add(1)
 		go s.serveConn(c)
