@@ -1,0 +1,103 @@
+// Command rabroker fronts a fleet of raserve backends with one address:
+// a sharded, replicated serving tier. It speaks the same binary batch
+// protocol and HTTP surface as raserve, so raquery, raload and search
+// probers point at it unchanged.
+//
+// Usage:
+//
+//	rabroker -backends host1:7101,host2:7101,host3:7101 -listen :7100
+//
+// Rungs are placed on backends by consistent hashing (so a fleet can
+// grow without reshuffling every rung), except the hot bottom of the
+// ladder — rungs 0..-replicate — which every backend serves and the
+// broker round-robins. Each backend is health-checked continuously
+// (binary ping + HTTP /healthz); queries route around dead backends
+// with bounded failover, so killing one node degrades throughput, not
+// correctness, provided the surviving owners hold the rungs (the
+// simplest deployment: every backend serves the full database
+// directory, and the broker's placement is a load-spreading policy
+// rather than a storage constraint).
+//
+// Inspect a running broker:
+//
+//	curl localhost:7100/backends   # health + placement
+//	curl localhost:7100/metrics    # front counters + per-backend clients
+//	curl localhost:7100/stats      # human-readable tables
+//
+// SIGINT/SIGTERM drains in-flight batches before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"retrograde/internal/broker"
+	"retrograde/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "rabroker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	backends := flag.String("backends", "", "comma-separated raserve addresses (required)")
+	listen := flag.String("listen", "127.0.0.1:7100", "address to listen on")
+	replicate := flag.Int("replicate", 6, "serve rungs 0..n from every backend (-1 = shard everything)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per backend on the hash ring (0 = default)")
+	attempts := flag.Int("attempts", 0, "distinct backends to try per sub-batch before failing (0 = 3)")
+	retries := flag.Int("retries", 1, "client retries per backend attempt")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-call deadline on backend calls (0 = none)")
+	health := flag.Duration("health", 0, "health-check interval per backend (0 = 250ms)")
+	failAfter := flag.Int("failafter", 0, "consecutive failed checks that mark a backend down (0 = 2)")
+	inflight := flag.Int("inflight", 0, "max concurrently routed batches before shedding (0 = 256)")
+	flag.Parse()
+
+	var addrs []string
+	for _, a := range strings.Split(*backends, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("-backends is required (comma-separated raserve addresses)")
+	}
+
+	br, err := broker.Start(*listen, broker.Config{
+		Backends:       addrs,
+		ReplicateMax:   *replicate,
+		Vnodes:         *vnodes,
+		MaxAttempts:    *attempts,
+		Client:         server.ClientConfig{Retries: *retries, Timeout: *timeout},
+		HealthInterval: *health,
+		FailAfter:      *failAfter,
+		MaxInflight:    *inflight,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("rabroker: fronting %d backends\n", len(addrs))
+	for _, a := range addrs {
+		fmt.Printf("  %s\n", a)
+	}
+	if *replicate >= 0 {
+		fmt.Printf("rungs 0..%d replicated on every backend; higher rungs consistent-hashed\n", *replicate)
+	} else {
+		fmt.Println("replication off: every rung consistent-hashed to one owner")
+	}
+	fmt.Printf("listening on %s (binary protocol + HTTP)\n", br.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("rabroker: draining...")
+	return br.Close()
+}

@@ -14,10 +14,12 @@
 //
 // With -server the same questions are answered by a running raserve
 // instead of local files, through the retrying client — reconnecting
-// with backoff on connection loss and backing off on overload replies:
+// with backoff on connection loss and backing off on overload replies.
+// The address may equally be a rabroker fronting a fleet; the broker
+// speaks the same protocol, so nothing else changes:
 //
 //	raquery -server localhost:7101 -board 0,0,0,0,2,1,1,0,0,0,0,2
-//	raquery -server localhost:7101 -board ... -count 100 -retries 5 -timeout 10s
+//	raquery -server localhost:7100 -board ... -count 100 -retries 5 -timeout 10s
 //
 // -count repeats the query (a steady stream, for drills and smoke
 // tests); the exit status reports whether every call eventually
@@ -52,7 +54,7 @@ func run() error {
 	boardSpec := flag.String("board", "", "comma-separated pit counts, mover first (12 values)")
 	line := flag.Int("line", 0, "play out this many optimal plies")
 	slamName := flag.String("grandslam", "allowed", "grand-slam rule the databases were built with")
-	serverAddr := flag.String("server", "", "query a running raserve at this address instead of local files")
+	serverAddr := flag.String("server", "", "query a running raserve or rabroker at this address instead of local files")
 	count := flag.Int("count", 1, "with -server: repeat the query this many times")
 	retries := flag.Int("retries", 3, "with -server: retries per call (reconnect on loss, back off on overload)")
 	timeout := flag.Duration("timeout", 10*time.Second, "with -server: per-call deadline (0 = none)")

@@ -1,0 +1,109 @@
+// Fleet: the serving tier at its smallest — one logical endgame
+// database behind one address, served by two backends. A ladder is
+// built and saved, two DBServers serve the same directory, a DBBroker
+// fronts them, and a client that knows nothing about the fleet queries
+// through the broker. Then one backend is closed mid-conversation and
+// the same queries keep answering, bit-identically, through the
+// survivor: a dead node costs throughput, not correctness.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"retrograde"
+)
+
+func main() {
+	stones := flag.Int("stones", 6, "build databases for 0..stones stones")
+	flag.Parse()
+
+	// Build the ladder once and save each rung as a shard; every backend
+	// serves the full directory, so placement is a load-spreading policy
+	// and any survivor can answer any rung.
+	dir, err := os.MkdirTemp("", "fleet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := retrograde.LadderConfig{
+		Rules: retrograde.StandardRules,
+		Loop:  retrograde.LoopOwnSide,
+	}
+	l, err := retrograde.BuildLadder(cfg, *stones, retrograde.Concurrent{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for n := 0; n <= l.MaxStones(); n++ {
+		tab, err := retrograde.PackResult(l.Slice(n), l.Result(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tab.Save(filepath.Join(dir, tab.Name()+".radb")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Two backends, one broker. Rungs 0..3 are served by every backend
+	// (the hot bottom of the ladder); higher rungs are consistent-hashed
+	// to one owner with the other as failover.
+	var backends []*retrograde.DBServer
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		s, err := retrograde.StartDBServer("127.0.0.1:0", retrograde.DBServerConfig{
+			Dir: dir, Rules: retrograde.StandardRules,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		backends = append(backends, s)
+		addrs = append(addrs, s.Addr())
+	}
+	br, err := retrograde.StartDBBroker("127.0.0.1:0", retrograde.DBBrokerConfig{
+		Backends:       addrs,
+		ReplicateMax:   3,
+		HealthInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer br.Close()
+	fmt.Printf("fleet of %d backends behind %s\n\n", len(backends), br.Addr())
+
+	// The client is a plain DBClient: the broker speaks the same
+	// protocol, so nothing downstream knows the fleet exists.
+	c, err := retrograde.DialDBServer(br.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	board := retrograde.Board{0, 0, 0, 0, 2, 1, 1, 0, 0, 0, 0, 1}
+	before, err := c.Value(board)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pit, _, err := c.BestMove(board)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("through the fleet: value=%d, best move pit %d\n", before, pit)
+
+	// Kill one backend. The broker's health checks mark it down and
+	// queries fail over; the answers must not change.
+	backends[1].Close()
+	fmt.Println("backend 2 closed; querying again through the survivor...")
+	after, err := c.Value(board)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if after != before {
+		log.Fatalf("answers diverged after the kill: %d != %d", after, before)
+	}
+	fmt.Printf("same answer after the kill: value=%d\n", after)
+}

@@ -1,0 +1,774 @@
+// Package broker is the horizontal scale-out of the serving tier: one
+// logical endgame database served by a fleet of raserve backends behind
+// a single address. The broker speaks the same length-framed binary
+// batch protocol as raserve on the front (raquery and search probers
+// connect to it unchanged), consistent-hashes rungs across the backends
+// on the back, and treats the small hot rungs — the bottom of the
+// ladder every lookup path touches — as replicated on every backend.
+// Backends are health-checked two ways (the binary ping op and HTTP
+// /healthz); a dead backend is routed around with bounded failover, so
+// a kill -9 of one node degrades throughput instead of correctness.
+package broker
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"retrograde/internal/server"
+	"retrograde/internal/stats"
+)
+
+// Config parameterises a Broker.
+type Config struct {
+	// Backends are the raserve addresses behind the broker. A backend
+	// that is down at startup is dialed lazily and marked unhealthy until
+	// it answers; the broker itself starts regardless.
+	Backends []string
+	// ReplicateMax treats rungs 0..ReplicateMax as replicated on every
+	// backend: queries for them go to any healthy node (round-robin)
+	// instead of the ring owner. The bottom of the ladder is tiny (rungs
+	// 0..6 together are under a MiB) and every best-move expansion
+	// probes it, so replicating it buys availability for free. Negative
+	// disables replication.
+	ReplicateMax int
+	// Vnodes is the consistent-hash ring's virtual-node count per
+	// backend (0 = DefaultVnodes).
+	Vnodes int
+	// MaxAttempts bounds how many distinct backends one sub-batch may
+	// try before its queries fail (0 = 3, capped at the fleet size).
+	MaxAttempts int
+	// Client configures the retrying backend connections
+	// (server.DialConfig); its Retries apply per backend attempt, on
+	// top of the broker's own failover across backends.
+	Client server.ClientConfig
+	// HealthInterval is the health-check period per backend (0 = 250ms).
+	HealthInterval time.Duration
+	// PingTimeout bounds one health round trip (0 = 1s).
+	PingTimeout time.Duration
+	// FailAfter is how many consecutive failed checks mark a backend
+	// unhealthy (0 = 2). One success marks it healthy again.
+	FailAfter int
+	// MaxInflight bounds concurrently routed front batches; beyond it
+	// the broker sheds load with overload frames (0 = 256).
+	MaxInflight int
+}
+
+func (c Config) maxAttempts() int {
+	n := c.MaxAttempts
+	if n <= 0 {
+		n = 3
+	}
+	if n > len(c.Backends) {
+		n = len(c.Backends)
+	}
+	return n
+}
+
+func (c Config) healthInterval() time.Duration {
+	if c.HealthInterval > 0 {
+		return c.HealthInterval
+	}
+	return 250 * time.Millisecond
+}
+
+func (c Config) pingTimeout() time.Duration {
+	if c.PingTimeout > 0 {
+		return c.PingTimeout
+	}
+	return time.Second
+}
+
+func (c Config) failAfter() int {
+	if c.FailAfter > 0 {
+		return c.FailAfter
+	}
+	return 2
+}
+
+func (c Config) maxInflight() int {
+	if c.MaxInflight > 0 {
+		return c.MaxInflight
+	}
+	return 256
+}
+
+// backend is one raserve node behind the broker.
+type backend struct {
+	addr string
+	cfg  server.ClientConfig
+
+	mu      sync.Mutex
+	c       *server.Client // nil until the first successful dial
+	lastErr string
+	fails   int // consecutive failed health checks
+
+	healthy atomic.Bool
+
+	batches   atomic.Uint64
+	queries   atomic.Uint64
+	errors    atomic.Uint64 // transport-level sub-batch failures
+	checks    atomic.Uint64 // successful health checks
+	pingFails atomic.Uint64
+	httpFails atomic.Uint64
+}
+
+// client returns the backend's connection, dialing on first use (and
+// after a failed initial dial). server.Client reconnects by itself once
+// established.
+func (b *backend) client() (*server.Client, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.c != nil {
+		return b.c, nil
+	}
+	c, err := server.DialConfig(b.addr, b.cfg)
+	if err != nil {
+		b.lastErr = err.Error()
+		return nil, err
+	}
+	b.c = c
+	return c, nil
+}
+
+func (b *backend) clientStats() server.ClientStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.c == nil {
+		return server.ClientStats{}
+	}
+	return b.c.Stats()
+}
+
+// Broker fronts a fleet of raserve backends on one listener (binary
+// protocol + HTTP, sniffed like raserve's). Create one with Start; stop
+// it with Close.
+type Broker struct {
+	cfg      Config
+	ring     *Ring
+	backends map[string]*backend
+	order    []string // deduped Backends order, for round-robin
+	rr       atomic.Uint64
+
+	l       net.Listener
+	httpL   *server.HTTPListener
+	httpSrv *http.Server
+
+	// admitMu orders admission against draining, exactly like
+	// server.Server: once draining is set no new batch enters inflight.
+	admitMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+	sem      chan struct{}
+
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+	connsTorn bool // Close has swept conns; late arrivals must self-close
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	m bmetrics
+}
+
+type bmetrics struct {
+	batches   stats.Histogram // batch sizes
+	latency   stats.Histogram // batch routing time, microseconds
+	queries   atomic.Uint64
+	overloads atomic.Uint64
+	failovers atomic.Uint64 // sub-batches answered by a non-first candidate
+	unrouted  atomic.Uint64 // queries every candidate failed
+	pings     atomic.Uint64
+}
+
+// Start launches a broker on addr (e.g. "127.0.0.1:0") over
+// cfg.Backends. It returns once the listener is ready; backend health
+// is discovered asynchronously.
+func Start(addr string, cfg Config) (*Broker, error) {
+	seen := map[string]struct{}{}
+	var order []string
+	for _, a := range cfg.Backends {
+		if _, dup := seen[a]; dup {
+			continue
+		}
+		seen[a] = struct{}{}
+		order = append(order, a)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("broker: no backends configured")
+	}
+	cfg.Backends = order
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	br := &Broker{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Vnodes, order...),
+		backends: map[string]*backend{},
+		order:    order,
+		l:        l,
+		httpL:    server.NewHTTPListener(l.Addr()),
+		sem:      make(chan struct{}, cfg.maxInflight()),
+		conns:    map[net.Conn]struct{}{},
+		stop:     make(chan struct{}),
+	}
+	for _, a := range order {
+		be := &backend{addr: a, cfg: cfg.Client}
+		be.healthy.Store(true) // optimistic until checks say otherwise
+		br.backends[a] = be
+	}
+	br.httpSrv = &http.Server{
+		Handler:      br.httpMux(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	for _, a := range order {
+		br.wg.Add(1)
+		go br.healthLoop(br.backends[a])
+	}
+	br.wg.Add(1)
+	go br.acceptLoop()
+	go br.httpSrv.Serve(br.httpL)
+	return br, nil
+}
+
+// Addr returns the listener's address.
+func (br *Broker) Addr() string { return br.l.Addr().String() }
+
+// Ring returns the broker's placement ring (for status displays).
+func (br *Broker) Ring() *Ring { return br.ring }
+
+// Close shuts the broker down gracefully: stop accepting, answer
+// everything admitted, then tear down connections, health checkers and
+// backend clients.
+func (br *Broker) Close() error {
+	br.admitMu.Lock()
+	if br.draining {
+		br.admitMu.Unlock()
+		return nil
+	}
+	br.draining = true
+	br.admitMu.Unlock()
+
+	err := br.l.Close() // acceptLoop exits
+	br.inflight.Wait()  // every admitted batch answered and written
+	close(br.stop)      // health loops exit
+	br.httpSrv.Close()
+	br.httpL.Close()
+	br.connMu.Lock()
+	br.connsTorn = true
+	for c := range br.conns {
+		c.Close()
+	}
+	br.connMu.Unlock()
+	br.wg.Wait()
+	for _, be := range br.backends {
+		be.mu.Lock()
+		if be.c != nil {
+			be.c.Close()
+		}
+		be.mu.Unlock()
+	}
+	return err
+}
+
+// begin admits one batch; false means draining.
+func (br *Broker) begin() bool {
+	br.admitMu.Lock()
+	defer br.admitMu.Unlock()
+	if br.draining {
+		return false
+	}
+	br.inflight.Add(1)
+	return true
+}
+
+// Health checking. Each backend is probed two ways on every tick: the
+// binary ping op (does the query path answer?) and HTTP /healthz (does
+// the sniffed HTTP side answer?). Both ride the same listener, so both
+// failing modes of a half-dead process are seen.
+
+func (br *Broker) healthLoop(be *backend) {
+	defer br.wg.Done()
+	httpc := &http.Client{Timeout: br.cfg.pingTimeout()}
+	t := time.NewTicker(br.cfg.healthInterval())
+	defer t.Stop()
+	for {
+		br.check(be, httpc)
+		select {
+		case <-t.C:
+		case <-br.stop:
+			return
+		}
+	}
+}
+
+func (br *Broker) check(be *backend, httpc *http.Client) {
+	err := br.pingCheck(be)
+	if err != nil {
+		be.pingFails.Add(1)
+	} else if err = httpCheck(httpc, be.addr); err != nil {
+		be.httpFails.Add(1)
+	}
+	if err == nil {
+		be.checks.Add(1)
+		be.mu.Lock()
+		be.fails = 0
+		be.lastErr = ""
+		be.mu.Unlock()
+		be.healthy.Store(true)
+		return
+	}
+	be.mu.Lock()
+	be.fails++
+	be.lastErr = err.Error()
+	down := be.fails >= br.cfg.failAfter()
+	be.mu.Unlock()
+	if down {
+		be.healthy.Store(false)
+	}
+}
+
+func (br *Broker) pingCheck(be *backend) error {
+	c, err := be.client()
+	if err != nil {
+		return err
+	}
+	return c.Ping(br.cfg.pingTimeout())
+}
+
+func httpCheck(httpc *http.Client, addr string) error {
+	resp, err := httpc.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("broker: /healthz on %s: %s", addr, resp.Status)
+	}
+	return nil
+}
+
+func (br *Broker) healthyCount() int {
+	n := 0
+	for _, be := range br.backends {
+		if be.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Routing. Every query maps to a shard key: board queries to their
+// stone-count rung, probes to the named shard. A batch is split into
+// per-key sub-batches routed concurrently and reassembled in order, so
+// one front batch may fan out across the fleet.
+
+// routeKey returns a query's shard key and its awari rung (-1 when the
+// key is not a rung).
+func routeKey(q *server.Query) (string, int) {
+	if q.Kind == server.KindProbe {
+		if n, ok := rungOf(q.Shard); ok {
+			return q.Shard, n
+		}
+		return q.Shard, -1
+	}
+	n := q.Board.Stones()
+	return fmt.Sprintf("awari-%d", n), n
+}
+
+// rungOf parses an "awari-<n>" shard key.
+func rungOf(shard string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(shard, "awari-%d", &n); err != nil || n < 0 {
+		return -1, false
+	}
+	return n, true
+}
+
+func (br *Broker) replicated(rung int) bool {
+	return rung >= 0 && br.cfg.ReplicateMax >= 0 && rung <= br.cfg.ReplicateMax
+}
+
+// candidates returns the backends to try for a key, in order: the
+// ring's owner sequence (or, for a replicated key, a round-robin
+// rotation of the whole fleet), healthy backends first, bounded by
+// MaxAttempts. Unhealthy backends stay in the tail — when everything is
+// marked down, trying one beats failing without trying.
+func (br *Broker) candidates(key string, replicated bool) []*backend {
+	var order []string
+	if replicated {
+		start := int(br.rr.Add(1)-1) % len(br.order)
+		for i := range br.order {
+			order = append(order, br.order[(start+i)%len(br.order)])
+		}
+	} else {
+		order = br.ring.Owners(key, len(br.order))
+	}
+	healthy := make([]*backend, 0, len(order))
+	var down []*backend
+	for _, a := range order {
+		be := br.backends[a]
+		if be.healthy.Load() {
+			healthy = append(healthy, be)
+		} else {
+			down = append(down, be)
+		}
+	}
+	out := append(healthy, down...)
+	if max := br.cfg.maxAttempts(); len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// route answers one front batch by fanning sub-batches out to the
+// fleet.
+func (br *Broker) route(qs []server.Query) []server.Answer {
+	answers := make([]server.Answer, len(qs))
+	type group struct {
+		replicated bool
+		idx        []int
+	}
+	groups := map[string]*group{}
+	for i := range qs {
+		key, rung := routeKey(&qs[i])
+		g := groups[key]
+		if g == nil {
+			g = &group{replicated: br.replicated(rung)}
+			groups[key] = g
+		}
+		g.idx = append(g.idx, i)
+	}
+	var wg sync.WaitGroup
+	for key, g := range groups {
+		wg.Add(1)
+		go func(key string, g *group) {
+			defer wg.Done()
+			br.forward(key, g.replicated, g.idx, qs, answers)
+		}(key, g)
+	}
+	wg.Wait()
+	return answers
+}
+
+// forward sends one sub-batch to its candidate backends in turn. The
+// first backend that answers wins; per-query errors inside a successful
+// reply pass through untouched (a backend that lacks a rung says so
+// itself). Only when every candidate fails at the transport level do
+// the queries come back as broker errors.
+func (br *Broker) forward(key string, replicated bool, idx []int, qs []server.Query, answers []server.Answer) {
+	sub := make([]server.Query, len(idx))
+	for i, j := range idx {
+		sub[i] = qs[j]
+	}
+	cands := br.candidates(key, replicated)
+	var lastErr error
+	for attempt, be := range cands {
+		c, err := be.client()
+		if err == nil {
+			var as []server.Answer
+			as, err = c.Do(sub)
+			if err == nil {
+				if attempt > 0 {
+					br.m.failovers.Add(1)
+				}
+				be.batches.Add(1)
+				be.queries.Add(uint64(len(sub)))
+				for i, j := range idx {
+					answers[j] = as[i]
+				}
+				return
+			}
+		}
+		be.errors.Add(1)
+		lastErr = err
+	}
+	br.m.unrouted.Add(uint64(len(idx)))
+	msg := fmt.Sprintf("broker: no backend could answer %s (%d tried): %v", key, len(cands), lastErr)
+	for _, j := range idx {
+		answers[j] = server.Answer{Err: msg}
+	}
+}
+
+// Front side: the same sniffed single-listener surface as raserve.
+
+func (br *Broker) acceptLoop() {
+	defer br.wg.Done()
+	for {
+		c, err := br.l.Accept()
+		if err != nil {
+			return
+		}
+		br.wg.Add(1)
+		go br.serveConn(c)
+	}
+}
+
+func (br *Broker) serveConn(c net.Conn) {
+	defer br.wg.Done()
+	// Track before the first read: a connection accepted just as Close
+	// sweeps br.conns would otherwise be closed by nobody, and Close's
+	// wg.Wait() would hang on its blocked reader.
+	if !br.track(c) {
+		c.Close()
+		return
+	}
+	reader := bufio.NewReader(c)
+	first, err := reader.Peek(4)
+	if err != nil {
+		br.untrack(c)
+		c.Close()
+		return
+	}
+	if server.IsHTTP(first) {
+		br.untrack(c)
+		br.httpL.Deliver(&server.BufConn{Conn: c, R: reader})
+		return
+	}
+	defer br.untrack(c)
+	defer c.Close()
+
+	var wmu sync.Mutex
+	var pending sync.WaitGroup
+	defer pending.Wait()
+	for {
+		kind, body, err := server.ReadFrame(reader)
+		if err != nil {
+			return
+		}
+		if kind == server.FramePing {
+			id, err := server.FrameID(body)
+			if err != nil {
+				return
+			}
+			br.m.pings.Add(1)
+			wmu.Lock()
+			c.Write(server.EncodePong(id))
+			wmu.Unlock()
+			continue
+		}
+		if kind != server.FrameQuery {
+			return
+		}
+		id, qs, err := server.DecodeQueries(body)
+		if err != nil {
+			return
+		}
+		overload := func() {
+			br.m.overloads.Add(1)
+			wmu.Lock()
+			c.Write(server.EncodeOverload(id))
+			wmu.Unlock()
+		}
+		if !br.begin() {
+			overload()
+			continue
+		}
+		select {
+		case br.sem <- struct{}{}:
+		default:
+			br.inflight.Done()
+			overload()
+			continue
+		}
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			defer br.inflight.Done()
+			defer func() { <-br.sem }()
+			start := time.Now()
+			br.m.batches.Observe(uint64(len(qs)))
+			br.m.queries.Add(uint64(len(qs)))
+			answers := br.route(qs)
+			br.m.latency.Observe(uint64(time.Since(start).Microseconds()))
+			wmu.Lock()
+			c.Write(server.EncodeAnswers(id, answers))
+			wmu.Unlock()
+		}()
+	}
+}
+
+// track registers a live connection for teardown; false means Close
+// has already swept the set and the caller must close c itself.
+func (br *Broker) track(c net.Conn) bool {
+	br.connMu.Lock()
+	defer br.connMu.Unlock()
+	if br.connsTorn {
+		return false
+	}
+	br.conns[c] = struct{}{}
+	return true
+}
+
+func (br *Broker) untrack(c net.Conn) {
+	br.connMu.Lock()
+	delete(br.conns, c)
+	br.connMu.Unlock()
+}
+
+// Observability.
+
+// Metrics is the broker-wide snapshot behind /metrics.
+type Metrics struct {
+	Batches           uint64  `json:"batches"`
+	Queries           uint64  `json:"queries"`
+	Overloads         uint64  `json:"overloads"`
+	Failovers         uint64  `json:"failovers"`
+	Unrouted          uint64  `json:"unrouted"`
+	Pings             uint64  `json:"pings"`
+	Backends          int     `json:"backends"`
+	HealthyBackends   int     `json:"healthyBackends"`
+	LatencyMeanMicros float64 `json:"latencyMeanMicros"`
+	LatencyP50Micros  uint64  `json:"latencyP50Micros"`
+	LatencyP99Micros  uint64  `json:"latencyP99Micros"`
+	LatencyP999Micros uint64  `json:"latencyP999Micros"`
+}
+
+// BackendMetrics is one backend's snapshot.
+type BackendMetrics struct {
+	Addr         string             `json:"addr"`
+	Healthy      bool               `json:"healthy"`
+	LastErr      string             `json:"lastErr,omitempty"`
+	Batches      uint64             `json:"batches"`
+	Queries      uint64             `json:"queries"`
+	Errors       uint64             `json:"errors"`
+	HealthChecks uint64             `json:"healthChecks"`
+	PingFails    uint64             `json:"pingFails"`
+	HTTPFails    uint64             `json:"httpFails"`
+	Client       server.ClientStats `json:"client"`
+}
+
+// Metrics snapshots the front-side counters.
+func (br *Broker) Metrics() Metrics {
+	return Metrics{
+		Batches:           br.m.batches.Count(),
+		Queries:           br.m.queries.Load(),
+		Overloads:         br.m.overloads.Load(),
+		Failovers:         br.m.failovers.Load(),
+		Unrouted:          br.m.unrouted.Load(),
+		Pings:             br.m.pings.Load(),
+		Backends:          len(br.backends),
+		HealthyBackends:   br.healthyCount(),
+		LatencyMeanMicros: br.m.latency.Mean(),
+		LatencyP50Micros:  br.m.latency.Quantile(0.5),
+		LatencyP99Micros:  br.m.latency.Quantile(0.99),
+		LatencyP999Micros: br.m.latency.Quantile(0.999),
+	}
+}
+
+// BackendsSnapshot snapshots every backend, in configuration order.
+func (br *Broker) BackendsSnapshot() []BackendMetrics {
+	out := make([]BackendMetrics, 0, len(br.order))
+	for _, a := range br.order {
+		be := br.backends[a]
+		be.mu.Lock()
+		lastErr := be.lastErr
+		be.mu.Unlock()
+		out = append(out, BackendMetrics{
+			Addr:         a,
+			Healthy:      be.healthy.Load(),
+			LastErr:      lastErr,
+			Batches:      be.batches.Load(),
+			Queries:      be.queries.Load(),
+			Errors:       be.errors.Load(),
+			HealthChecks: be.checks.Load(),
+			PingFails:    be.pingFails.Load(),
+			HTTPFails:    be.httpFails.Load(),
+			Client:       be.clientStats(),
+		})
+	}
+	return out
+}
+
+// Placement returns the routing table for rungs 0..maxRung: "all
+// (replicated)" for hot rungs, the ring owner otherwise.
+func (br *Broker) Placement(maxRung int) map[string]string {
+	out := map[string]string{}
+	for n := 0; n <= maxRung; n++ {
+		key := fmt.Sprintf("awari-%d", n)
+		if br.replicated(n) {
+			out[key] = "all (replicated)"
+		} else {
+			out[key] = br.ring.Owner(key)
+		}
+	}
+	return out
+}
+
+// StatsTables renders the broker's observability surface as text.
+func (br *Broker) StatsTables() []*stats.Table {
+	bt := stats.NewTable("backends", "backend", "state", "batches", "queries", "errors", "checks", "ping fails", "http fails", "retries", "reconnects", "unknown")
+	for _, bm := range br.BackendsSnapshot() {
+		state := "down"
+		if bm.Healthy {
+			state = "up"
+		}
+		bt.Row(bm.Addr, state, bm.Batches, bm.Queries, bm.Errors, bm.HealthChecks, bm.PingFails, bm.HTTPFails,
+			bm.Client.Retries, bm.Client.Reconnects, bm.Client.UnknownReplies)
+	}
+	bt.Note("replicated rungs: 0..%d to every backend; other rungs consistent-hashed (%d vnodes)",
+		br.cfg.ReplicateMax, br.ring.vnodes)
+
+	m := br.Metrics()
+	ft := stats.NewTable("broker", "batches", "queries", "overloads", "failovers", "unrouted", "latency mean", "p50", "p99", "p999")
+	ft.Row(
+		stats.Count(m.Batches), stats.Count(m.Queries), stats.Count(m.Overloads),
+		stats.Count(m.Failovers), stats.Count(m.Unrouted),
+		fmt.Sprintf("%.0f µs", m.LatencyMeanMicros),
+		fmt.Sprintf("%d µs", m.LatencyP50Micros),
+		fmt.Sprintf("%d µs", m.LatencyP99Micros),
+		fmt.Sprintf("%d µs", m.LatencyP999Micros),
+	)
+	return []*stats.Table{bt, ft}
+}
+
+func (br *Broker) httpMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if br.healthyCount() == 0 {
+			http.Error(w, "no healthy backends", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		backends := br.BackendsSnapshot()
+		clients := make([]server.ClientStats, len(backends))
+		for i, bm := range backends {
+			clients[i] = bm.Client
+		}
+		writeJSON(w, map[string]any{
+			"server":   br.Metrics(),
+			"clients":  clients,
+			"backends": backends,
+		})
+	})
+	mux.HandleFunc("/backends", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"backends":  br.BackendsSnapshot(),
+			"placement": br.Placement(24),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, t := range br.StatsTables() {
+			t.Render(w)
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

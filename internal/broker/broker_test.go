@@ -1,0 +1,411 @@
+package broker
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/db"
+	"retrograde/internal/ladder"
+	"retrograde/internal/ra"
+	"retrograde/internal/server"
+)
+
+const testStones = 5
+
+// fleet is a test deployment: one ladder of truth, its rungs on disk,
+// N raserve backends over that directory, and a broker over them.
+type fleet struct {
+	ladder   *ladder.Ladder
+	backends []*server.Server
+	broker   *Broker
+}
+
+func buildDBs(t *testing.T) (*ladder.Ladder, string) {
+	t.Helper()
+	l, err := ladder.Build(ladder.Config{Rules: awari.Standard, Loop: awari.LoopOwnSide}, testStones, ra.Sequential{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for n := 0; n <= testStones; n++ {
+		tab, err := db.Pack(fmt.Sprintf("awari-%d", n), l.Slice(n).ValueBits(), l.Result(n).Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.Save(filepath.Join(dir, fmt.Sprintf("awari-%d.radb", n))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l, dir
+}
+
+// startFleet launches n backends (each serving the full directory, as a
+// real fleet would for failover headroom) and a broker with cfg's
+// routing knobs. cfg.Backends is filled in.
+func startFleet(t *testing.T, n int, cfg Config) *fleet {
+	t.Helper()
+	l, dir := buildDBs(t)
+	f := &fleet{ladder: l}
+	for i := 0; i < n; i++ {
+		s, err := server.Start("127.0.0.1:0", server.Config{Dir: dir, Rules: awari.Standard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.backends = append(f.backends, s)
+		cfg.Backends = append(cfg.Backends, s.Addr())
+	}
+	br, err := Start("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.broker = br
+	t.Cleanup(func() {
+		br.Close()
+		for _, s := range f.backends {
+			s.Close()
+		}
+	})
+	return f
+}
+
+func boardOf(n int, idx uint64) awari.Board {
+	var pits [awari.Pits]int
+	awari.Space(n).Unrank(idx, pits[:])
+	var b awari.Board
+	for i, c := range pits {
+		b[i] = int8(c)
+	}
+	return b
+}
+
+func randomBoards(rng *rand.Rand, count int) []awari.Board {
+	boards := make([]awari.Board, count)
+	for i := range boards {
+		n := 1 + rng.Intn(testStones)
+		boards[i] = boardOf(n, uint64(rng.Int63n(int64(awari.Size(n)))))
+	}
+	return boards
+}
+
+// TestBrokerRoundTrip: a mixed batch through the broker matches the
+// ladder, per-query errors pass through, probes route by shard name.
+func TestBrokerRoundTrip(t *testing.T) {
+	f := startFleet(t, 2, Config{ReplicateMax: 2})
+	c, err := server.Dial(f.broker.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	var qs []server.Query
+	boards := randomBoards(rng, 64)
+	for _, b := range boards {
+		qs = append(qs, server.Query{Kind: server.KindBestMove, Board: b})
+	}
+	// A probe and an out-of-range board ride the same batch.
+	qs = append(qs,
+		server.Query{Kind: server.KindProbe, Shard: "awari-3", Index: 0},
+		server.Query{Kind: server.KindValue, Board: awari.Board{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}},
+	)
+	as, err := c.Do(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range boards {
+		if as[i].Err != "" {
+			t.Fatalf("query %d (%v): %s", i, b, as[i].Err)
+		}
+		if want := f.ladder.Value(b); as[i].Value != want {
+			t.Errorf("board %v: value %d, ladder says %d", b, as[i].Value, want)
+		}
+		pit, _, ok := f.ladder.BestMove(b)
+		if ok && as[i].Pit != pit {
+			t.Errorf("board %v: pit %d, ladder says %d", b, as[i].Pit, pit)
+		}
+	}
+	probe := as[len(as)-2]
+	if probe.Err != "" {
+		t.Errorf("probe: %s", probe.Err)
+	}
+	if probe.Value != f.ladder.Lookup(3, 0) {
+		t.Errorf("probe value %d, ladder says %d", probe.Value, f.ladder.Lookup(3, 0))
+	}
+	if as[len(as)-1].Err == "" {
+		t.Error("out-of-range board did not fail per-query")
+	}
+}
+
+// TestBrokerParity: the broker is invisible — answers through it are
+// bit-identical to a direct backend connection.
+func TestBrokerParity(t *testing.T) {
+	f := startFleet(t, 2, Config{ReplicateMax: 2})
+	direct, err := server.Dial(f.backends[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	brokered, err := server.Dial(f.broker.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brokered.Close()
+
+	rng := rand.New(rand.NewSource(2))
+	for _, b := range randomBoards(rng, 200) {
+		q := []server.Query{{Kind: server.KindBestMove, Board: b}}
+		da, err := direct.Do(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := brokered.Do(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(da[0], ba[0]) {
+			t.Fatalf("board %v: direct %+v, brokered %+v", b, da[0], ba[0])
+		}
+	}
+}
+
+// killOne closes backend i and waits until the broker's health checks
+// notice.
+func (f *fleet) killOne(t *testing.T, i int) {
+	t.Helper()
+	f.backends[i].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.broker.Metrics().HealthyBackends == len(f.backends)-1 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("broker never marked backend %d down", i)
+}
+
+func healthCfg() Config {
+	return Config{
+		ReplicateMax:   2,
+		HealthInterval: 30 * time.Millisecond,
+		PingTimeout:    500 * time.Millisecond,
+		Client:         server.ClientConfig{Timeout: 2 * time.Second},
+	}
+}
+
+// TestBrokerSurvivesBackendDeath: with one of two backends gone, every
+// rung — replicated or consistent-hashed — keeps answering correctly,
+// via health-aware routing and failover. Queries race the detection
+// window on purpose: the broker must route around the corpse even
+// before the health checker has marked it.
+func TestBrokerSurvivesBackendDeath(t *testing.T) {
+	f := startFleet(t, 2, healthCfg())
+	c, err := server.DialConfig(f.broker.Addr(), server.ClientConfig{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	warm := randomBoards(rng, 32)
+	for _, b := range warm {
+		if _, err := c.Value(b); err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+	}
+
+	f.backends[1].Close() // no wait: queries hit the corpse first
+	for _, b := range randomBoards(rng, 64) {
+		v, err := c.Value(b)
+		if err != nil {
+			t.Fatalf("board %v after kill: %v", b, err)
+		}
+		if want := f.ladder.Value(b); v != want {
+			t.Errorf("board %v after kill: value %d, ladder says %d", b, v, want)
+		}
+	}
+
+	// Detection converges; routed-around traffic shows up as failovers
+	// (unless every key already belonged to the survivor, which two
+	// backends and 64 random rung-keys make vanishingly unlikely).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && f.broker.Metrics().HealthyBackends != 1 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	m := f.broker.Metrics()
+	if m.HealthyBackends != 1 {
+		t.Errorf("healthy backends = %d, want 1", m.HealthyBackends)
+	}
+	if m.Unrouted != 0 {
+		t.Errorf("unrouted = %d, want 0 (the survivor holds every rung)", m.Unrouted)
+	}
+}
+
+// TestBrokerShardedRungFailover: with replication off entirely, losing
+// the owner of a rung still answers through ring-order failover.
+func TestBrokerShardedRungFailover(t *testing.T) {
+	cfg := healthCfg()
+	cfg.ReplicateMax = -1 // every rung single-owner
+	f := startFleet(t, 2, cfg)
+	c, err := server.DialConfig(f.broker.Addr(), server.ClientConfig{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Find a rung owned by backend 1, then kill backend 1.
+	victim := -1
+	for n := 1; n <= testStones; n++ {
+		if f.broker.Ring().Owner(fmt.Sprintf("awari-%d", n)) == f.backends[1].Addr() {
+			victim = n
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("backend 1 owns no rung at this vnode seed; nothing to fail over")
+	}
+	f.killOne(t, 1)
+
+	b := boardOf(victim, 0)
+	v, err := c.Value(b)
+	if err != nil {
+		t.Fatalf("orphaned rung %d: %v", victim, err)
+	}
+	if want := f.ladder.Value(b); v != want {
+		t.Errorf("orphaned rung %d: value %d, ladder says %d", victim, v, want)
+	}
+	if m := f.broker.Metrics(); m.Unrouted != 0 {
+		t.Errorf("unrouted = %d, want 0", m.Unrouted)
+	}
+}
+
+// TestBrokerAllBackendsDead: queries fail per-query (not by hanging or
+// tearing the connection), and /healthz flips to 503.
+func TestBrokerAllBackendsDead(t *testing.T) {
+	f := startFleet(t, 2, healthCfg())
+	c, err := server.DialConfig(f.broker.Addr(), server.ClientConfig{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f.backends[0].Close()
+	f.backends[1].Close()
+
+	as, err := c.Do([]server.Query{{Kind: server.KindValue, Board: boardOf(3, 0)}})
+	if err != nil {
+		t.Fatalf("transport failed, want per-query error: %v", err)
+	}
+	if as[0].Err == "" {
+		t.Error("query against a dead fleet succeeded")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && f.broker.Metrics().HealthyBackends != 0 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err := http.Get("http://" + f.broker.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/healthz with a dead fleet = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestBrokerObservability: ping on the front, /metrics carries the
+// shared shape (server block + clients list) plus per-backend detail,
+// /backends shows placement, /stats renders.
+func TestBrokerObservability(t *testing.T) {
+	f := startFleet(t, 2, Config{ReplicateMax: 2})
+	c, err := server.Dial(f.broker.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(0); err != nil {
+		t.Fatalf("broker front ping: %v", err)
+	}
+	for _, b := range randomBoards(rand.New(rand.NewSource(4)), 32) {
+		if _, err := c.Value(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var m struct {
+		Server   Metrics              `json:"server"`
+		Clients  []server.ClientStats `json:"clients"`
+		Backends []BackendMetrics     `json:"backends"`
+	}
+	getJSON(t, "http://"+f.broker.Addr()+"/metrics", &m)
+	if m.Server.Queries < 32 || m.Server.Pings < 1 {
+		t.Errorf("metrics queries=%d pings=%d", m.Server.Queries, m.Server.Pings)
+	}
+	if len(m.Clients) != 2 || len(m.Backends) != 2 {
+		t.Errorf("clients=%d backends=%d, want 2 and 2", len(m.Clients), len(m.Backends))
+	}
+	sum := uint64(0)
+	for _, bm := range m.Backends {
+		sum += bm.Queries
+	}
+	if sum < 32 {
+		t.Errorf("backend queries sum = %d, want >= 32", sum)
+	}
+
+	var bk struct {
+		Placement map[string]string `json:"placement"`
+	}
+	getJSON(t, "http://"+f.broker.Addr()+"/backends", &bk)
+	if bk.Placement["awari-0"] != "all (replicated)" {
+		t.Errorf("placement[awari-0] = %q, want replicated", bk.Placement["awari-0"])
+	}
+	if owner := bk.Placement["awari-20"]; owner != f.backends[0].Addr() && owner != f.backends[1].Addr() {
+		t.Errorf("placement[awari-20] = %q, not a backend", owner)
+	}
+
+	resp, err := http.Get("http://" + f.broker.Addr() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !containsAll(string(body), "backends", "broker", "p999") {
+		t.Errorf("/stats output incomplete:\n%s", body)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(s, sub string) bool {
+	return len(sub) == 0 || len(s) >= len(sub) && (s == sub || len(s) > len(sub) && (s[:len(sub)] == sub || contains(s[1:], sub)))
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}

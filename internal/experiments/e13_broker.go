@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/broker"
+	"retrograde/internal/db"
+	"retrograde/internal/server"
+	"retrograde/internal/stats"
+)
+
+// E13Broker measures the serving tier's scale-out layer: what a rabroker
+// in front of a raserve fleet costs in latency when nothing fails, and
+// what it buys when a backend dies mid-run. The same deterministic query
+// stream (boards drawn from rungs 1..n weighted by rung size, batched)
+// runs three ways — against one raserve directly, through a broker over
+// two backends, and through the broker while one backend is killed
+// halfway — and every answer folds into an order-independent checksum.
+// The broker is correct exactly when all three checksums are identical
+// and every value matches the ladder; then the broker's cost is the
+// latency delta and its value is the third row finishing at all.
+func E13Broker(env *Env) (*stats.Table, error) {
+	stones := env.Scale.Stones - 1 // the ladder is built to Stones-1
+	dir, err := os.MkdirTemp("", "e13-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	for n := 0; n <= stones; n++ {
+		tab, err := db.Pack(fmt.Sprintf("awari-%d", n), env.Ladder.Slice(n).ValueBits(), env.Ladder.Result(n).Values)
+		if err != nil {
+			return nil, err
+		}
+		if err := tab.Save(filepath.Join(dir, fmt.Sprintf("awari-%d.radb", n))); err != nil {
+			return nil, err
+		}
+	}
+
+	const batches, batchSize, workers = 400, 16, 4
+	t := stats.NewTable(
+		fmt.Sprintf("E13: brokered serving tier (rungs 0..%d, %d batches of %d)", stones, batches, batchSize),
+		"scenario", "ok", "mean µs", "p50 µs", "p99 µs", "p999 µs", "check")
+
+	startBackends := func(n int) ([]*server.Server, []string, error) {
+		var ss []*server.Server
+		var addrs []string
+		for i := 0; i < n; i++ {
+			s, err := server.Start("127.0.0.1:0", server.Config{Dir: dir, Rules: env.Scale.Rules})
+			if err != nil {
+				return nil, nil, err
+			}
+			ss = append(ss, s)
+			addrs = append(addrs, s.Addr())
+		}
+		return ss, addrs, nil
+	}
+
+	// Direct baseline: one raserve, no broker in the path.
+	direct, _, err := startBackends(1)
+	if err != nil {
+		return nil, err
+	}
+	base, err := driveServing(direct[0].Addr(), env, stones, batches, batchSize, workers, nil)
+	direct[0].Close()
+	if err != nil {
+		return nil, err
+	}
+	check := func(r *servingRun) string {
+		switch {
+		case r.mismatches > 0:
+			return fmt.Sprintf("%d LADDER MISMATCHES", r.mismatches)
+		case r.checksum != base.checksum:
+			return "CHECKSUM DIVERGED"
+		case r.ok != batches:
+			return fmt.Sprintf("only %d/%d batches", r.ok, batches)
+		default:
+			return "identical to direct"
+		}
+	}
+	row := func(name string, r *servingRun) {
+		t.Row(name, r.ok, fmt.Sprintf("%.0f", r.hist.Mean()),
+			r.hist.Quantile(0.50), r.hist.Quantile(0.99), r.hist.Quantile(0.999), check(r))
+	}
+	row("direct: 1 raserve", base)
+
+	// Brokered: the same stream through a rabroker over two backends.
+	fleetRun := func(kill bool) (*servingRun, error) {
+		backends, addrs, err := startBackends(2)
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			for _, s := range backends {
+				s.Close()
+			}
+		}()
+		br, err := broker.Start("127.0.0.1:0", broker.Config{
+			Backends:       addrs,
+			ReplicateMax:   stones / 2,
+			HealthInterval: 25 * time.Millisecond,
+			Client:         server.ClientConfig{Timeout: 10 * time.Second},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer br.Close()
+		var once sync.Once
+		var onBatch func(i int)
+		if kill {
+			onBatch = func(i int) {
+				if i == batches/2 {
+					once.Do(func() { backends[1].Close() })
+				}
+			}
+		}
+		return driveServing(br.Addr(), env, stones, batches, batchSize, workers, onBatch)
+	}
+	run, err := fleetRun(false)
+	if err != nil {
+		return nil, err
+	}
+	row("brokered: 2 raserve behind rabroker", run)
+	t.Note("broker overhead: mean %+.0f%% over direct (one extra hop + reassembly)",
+		100*(run.hist.Mean()-base.hist.Mean())/base.hist.Mean())
+
+	killed, err := fleetRun(true)
+	if err != nil {
+		return nil, err
+	}
+	row("brokered, 1 of 2 killed mid-run", killed)
+	t.Note("the kill row answers every batch through failover; its tail holds the detection window")
+	return t, nil
+}
+
+// servingRun accumulates one drive of the query stream.
+type servingRun struct {
+	ok         int
+	mismatches int
+	checksum   uint64
+	hist       stats.Histogram
+}
+
+// driveServing runs the deterministic closed-loop stream against addr:
+// `batches` batches of `batchSize` best-move queries over `workers`
+// connections, verifying every value against the ladder and folding
+// answers into an order-independent checksum. onBatch, when non-nil, is
+// called with each batch index before it departs (the kill hook).
+func driveServing(addr string, env *Env, stones, batches, batchSize, workers int, onBatch func(int)) (*servingRun, error) {
+	r := &servingRun{}
+	var ok, mismatches atomic.Int64
+	var checksum atomic.Uint64
+	var next atomic.Int64
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := server.DialConfig(addr, server.ClientConfig{Retries: 2, Timeout: 10 * time.Second})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= batches {
+					return
+				}
+				if onBatch != nil {
+					onBatch(i)
+				}
+				qs, rungs, idxs := e13Batch(i, stones, batchSize)
+				t0 := time.Now()
+				as, err := c.Do(qs)
+				if err != nil {
+					errs <- fmt.Errorf("batch %d: %w", i, err)
+					return
+				}
+				r.hist.Observe(uint64(time.Since(t0).Microseconds()))
+				ok.Add(1)
+				for j, a := range as {
+					if a.Err != "" {
+						errs <- fmt.Errorf("batch %d query %d: %s", i, j, a.Err)
+						return
+					}
+					checksum.Add(e13Hash(rungs[j], idxs[j], a))
+					if a.Value != env.Ladder.Lookup(rungs[j], idxs[j]) {
+						mismatches.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	r.ok, r.mismatches, r.checksum = int(ok.Load()), int(mismatches.Load()), checksum.Load()
+	return r, nil
+}
+
+// e13Batch derives batch i's queries from i alone (rungs weighted by
+// size), so any worker interleaving produces the same query multiset —
+// the same generator cmd/raload uses.
+func e13Batch(i, stones, batchSize int) ([]server.Query, []int, []uint64) {
+	rng := rand.New(rand.NewSource(1 + int64(i)*0x6a09e667f3bcc909))
+	cum := make([]uint64, stones+1)
+	for r := 1; r <= stones; r++ {
+		cum[r] = cum[r-1] + awari.Size(r)
+	}
+	qs := make([]server.Query, batchSize)
+	rungs := make([]int, batchSize)
+	idxs := make([]uint64, batchSize)
+	for j := range qs {
+		x := uint64(rng.Int63n(int64(cum[stones])))
+		r := 1
+		for cum[r] <= x {
+			r++
+		}
+		idx := x - cum[r-1]
+		var pits [awari.Pits]int
+		awari.Space(r).Unrank(idx, pits[:])
+		var b awari.Board
+		for k, c := range pits {
+			b[k] = int8(c)
+		}
+		qs[j] = server.Query{Kind: server.KindBestMove, Board: b}
+		rungs[j], idxs[j] = r, idx
+	}
+	return qs, rungs, idxs
+}
+
+// e13Hash folds one answer into the order-independent stream checksum.
+func e13Hash(rung int, idx uint64, a server.Answer) uint64 {
+	x := uint64(rung)<<56 ^ idx<<8 ^ uint64(uint8(a.Value))<<1 ^ uint64(uint8(a.Pit))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -87,6 +87,7 @@ func RunAll(s Scale, w io.Writer, progress bool, csvDir, jsonPath string) error 
 		{"E8", E8RealWire},
 		{"E10", E10HotPath},
 		{"E12", E12Faults},
+		{"E13", E13Broker},
 		{"A1", A1Partition},
 		{"A2", A2Interconnect},
 		{"A3", A3Termination},

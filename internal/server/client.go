@@ -2,7 +2,6 @@ package server
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -73,20 +72,25 @@ type Client struct {
 
 	unknown    atomic.Uint64 // replies that matched no waiting call
 	reconnects atomic.Uint64
+	retries    atomic.Uint64
 }
 
-// ClientStats are the client-side wire counters.
+// ClientStats are the client-side wire counters — the fleet-observability
+// numbers /metrics exports on raserve and rabroker.
 type ClientStats struct {
 	// UnknownReplies counts replies whose request id matched no waiting
 	// call: a late reply after a call deadline, or a confused server.
-	UnknownReplies uint64
+	UnknownReplies uint64 `json:"unknownReplies"`
 	// Reconnects counts successful re-dials after a connection loss.
-	Reconnects uint64
+	Reconnects uint64 `json:"reconnects"`
+	// Retries counts attempts beyond the first across all calls.
+	Retries uint64 `json:"retries"`
 }
 
 type clientReply struct {
 	answers    []Answer
 	overloaded bool
+	pong       bool
 }
 
 // Dial connects to a server at addr with the zero (no-retry) config.
@@ -112,6 +116,7 @@ func (c *Client) Stats() ClientStats {
 	return ClientStats{
 		UnknownReplies: c.unknown.Load(),
 		Reconnects:     c.reconnects.Load(),
+		Retries:        c.retries.Load(),
 	}
 }
 
@@ -172,7 +177,7 @@ func (c *Client) Close() error {
 func (c *Client) reader(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	for {
-		kind, body, err := readFrame(br)
+		kind, body, err := ReadFrame(br)
 		if err != nil {
 			c.dropConn(conn, fmt.Errorf("server: connection lost: %w", err))
 			return
@@ -180,19 +185,20 @@ func (c *Client) reader(conn net.Conn) {
 		var rep clientReply
 		var id uint32
 		switch kind {
-		case frameReply:
-			id, rep.answers, err = decodeAnswers(body)
+		case FrameReply:
+			id, rep.answers, err = DecodeAnswers(body)
 			if err != nil {
 				c.dropConn(conn, err)
 				return
 			}
-		case frameOverload:
-			if len(body) < 4 {
-				c.dropConn(conn, errors.New("server: truncated overload frame"))
+		case FrameOverload, FramePong:
+			var err error
+			if id, err = FrameID(body); err != nil {
+				c.dropConn(conn, err)
 				return
 			}
-			id = binary.LittleEndian.Uint32(body)
-			rep.overloaded = true
+			rep.overloaded = kind == FrameOverload
+			rep.pong = kind == FramePong
 		default:
 			c.dropConn(conn, fmt.Errorf("server: unexpected frame type %d", kind))
 			return
@@ -245,6 +251,9 @@ func (c *Client) Do(qs []Query) ([]Answer, error) {
 	var lastErr error
 	attempts := 0
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
 		answers, retryable, err := c.attempt(qs, deadline)
 		if err == nil {
 			return answers, nil
@@ -290,7 +299,7 @@ func (c *Client) attempt(qs []Query, deadline time.Time) (answers []Answer, retr
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	frame, err := encodeQueries(id, qs)
+	frame, err := EncodeQueries(id, qs)
 	if err != nil {
 		c.forget(id)
 		return nil, false, err
@@ -340,6 +349,72 @@ func (c *Client) attempt(qs []Query, deadline time.Time) (answers []Answer, retr
 		// the unknown-replies counter.
 		c.forget(id)
 		return nil, false, fmt.Errorf("server: call timed out after %v", c.cfg.Timeout)
+	}
+}
+
+// Ping performs one liveness round trip: a FramePing answered by a
+// FramePong, bypassing the server's query queue. Unlike Do it never
+// retries — a health checker wants the truthful state of this instant,
+// not the eventual success a backoff loop would manufacture. timeout
+// bounds the round trip (0 falls back to the client config's Timeout,
+// and failing that 2s).
+func (c *Client) Ping(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = c.cfg.Timeout
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	c.mu.Lock()
+	if err := c.connectLocked(); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	conn, bw := c.conn, c.bw
+	id := c.nextID
+	c.nextID++
+	ch := make(chan clientReply, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	conn.SetWriteDeadline(deadline)
+	_, err := bw.Write(EncodePing(id))
+	if err == nil {
+		err = bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(id)
+		c.dropConn(conn, err)
+		return err
+	}
+
+	t := time.NewTimer(time.Until(deadline))
+	defer t.Stop()
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err, closed := c.connErr, c.closed
+			c.mu.Unlock()
+			if closed {
+				return ErrClientClosed
+			}
+			if err == nil {
+				err = errors.New("server: connection lost")
+			}
+			return err
+		}
+		if !rep.pong {
+			return fmt.Errorf("server: ping answered by the wrong frame type")
+		}
+		return nil
+	case <-t.C:
+		c.forget(id)
+		return fmt.Errorf("server: ping timed out after %v", timeout)
 	}
 }
 

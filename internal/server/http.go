@@ -1,76 +1,19 @@
 package server
 
 import (
-	"bufio"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"net"
 	"net/http"
 	"strconv"
-	"sync"
 
 	"retrograde/internal/awari"
 )
 
 // The HTTP surface shares the listener with the binary protocol: the
-// first bytes of each connection are sniffed, and HTTP method prefixes
-// are handed to an embedded net/http server through a channel-backed
-// listener. Handlers go through the same begin/execute path as binary
-// batches, so backpressure and draining apply uniformly.
-
-// isHTTP reports whether the 4 peeked bytes start an HTTP request line.
-func isHTTP(b []byte) bool {
-	switch string(b) {
-	case "GET ", "PUT ", "POST", "HEAD", "OPTI", "DELE", "PATC":
-		return true
-	}
-	return false
-}
-
-// bufConn replays the sniffed bytes in front of the raw connection.
-type bufConn struct {
-	net.Conn
-	br *bufio.Reader
-}
-
-func (c *bufConn) Read(p []byte) (int, error) { return c.br.Read(p) }
-
-// chanListener feeds sniffed connections to http.Serve.
-type chanListener struct {
-	ch   chan net.Conn
-	addr net.Addr
-	once sync.Once
-	done chan struct{}
-}
-
-func newChanListener(addr net.Addr) *chanListener {
-	return &chanListener{ch: make(chan net.Conn), addr: addr, done: make(chan struct{})}
-}
-
-func (l *chanListener) deliver(c net.Conn) {
-	select {
-	case l.ch <- c:
-	case <-l.done:
-		c.Close()
-	}
-}
-
-func (l *chanListener) Accept() (net.Conn, error) {
-	select {
-	case c := <-l.ch:
-		return c, nil
-	case <-l.done:
-		return nil, errors.New("server: listener closed")
-	}
-}
-
-func (l *chanListener) Close() error {
-	l.once.Do(func() { close(l.done) })
-	return nil
-}
-
-func (l *chanListener) Addr() net.Addr { return l.addr }
+// first bytes of each connection are sniffed (see sniff.go), and HTTP
+// method prefixes are handed to an embedded net/http server through a
+// channel-backed listener. Handlers go through the same begin/execute
+// path as binary batches, so backpressure and draining apply uniformly.
 
 func (s *Server) httpMux() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -78,6 +21,7 @@ func (s *Server) httpMux() *http.ServeMux {
 	mux.HandleFunc("/line", s.handleBoard(KindLine))
 	mux.HandleFunc("/probe", s.handleProbe)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/shards", s.handleShards)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -182,6 +126,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, t := range s.StatsTables() {
 		t.Render(w)
 	}
+}
+
+// handleMetrics serves the request-path counters as JSON. The shape is
+// shared with rabroker's /metrics: a "server" block of front-side
+// counters and a "clients" list of outbound resilience counters
+// (retries, reconnects, unknown replies per server.ClientStats) — empty
+// here, one entry per backend on a broker.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"server":  s.Metrics(),
+		"clients": []ClientStats{},
+	})
 }
 
 // handleShards lists discovered shards as JSON.

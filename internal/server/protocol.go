@@ -24,10 +24,15 @@ import (
 // Frame types on the wire. Every frame is length(4, LE, excluding
 // itself) | type(1) | id(4, LE) | body — the framing idiom of
 // internal/remote, with a request id so clients can pipeline batches.
+// The types, together with ReadFrame and the Encode/Decode helpers, are
+// exported so other front ends speaking this protocol (the rabroker
+// serving tier) need no second implementation.
 const (
-	frameQuery    byte = iota + 1 // client -> server: a batch of queries
-	frameReply                    // server -> client: answers, same order
-	frameOverload                 // server -> client: batch refused (shed load)
+	FrameQuery    byte = iota + 1 // client -> server: a batch of queries
+	FrameReply                    // server -> client: answers, same order
+	FrameOverload                 // server -> client: batch refused (shed load)
+	FramePing                     // client -> server: liveness probe
+	FramePong                     // server -> client: liveness echo
 )
 
 // Query kinds.
@@ -84,14 +89,14 @@ type Answer struct {
 // length (2) | message, successes value (2) | pit (1, two's complement) |
 // line length (2) | line pits.
 
-// encodeQueries builds a frameQuery for the batch.
-func encodeQueries(id uint32, qs []Query) ([]byte, error) {
+// EncodeQueries builds a FrameQuery for the batch.
+func EncodeQueries(id uint32, qs []Query) ([]byte, error) {
 	if len(qs) == 0 || len(qs) > MaxBatch {
 		return nil, fmt.Errorf("server: batch of %d queries outside [1, %d]", len(qs), MaxBatch)
 	}
 	buf := make([]byte, 0, 16+13*len(qs))
 	buf = append(buf, 0, 0, 0, 0) // length, patched below
-	buf = append(buf, frameQuery)
+	buf = append(buf, FrameQuery)
 	buf = binary.LittleEndian.AppendUint32(buf, id)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(qs)))
 	for i, q := range qs {
@@ -125,8 +130,8 @@ func encodeQueries(id uint32, qs []Query) ([]byte, error) {
 	return buf, nil
 }
 
-// decodeQueries parses a frameQuery body (after the type byte).
-func decodeQueries(body []byte) (id uint32, qs []Query, err error) {
+// DecodeQueries parses a FrameQuery body (after the type byte).
+func DecodeQueries(body []byte) (id uint32, qs []Query, err error) {
 	if len(body) < 6 {
 		return 0, nil, fmt.Errorf("server: truncated query frame")
 	}
@@ -187,11 +192,11 @@ func decodeQueries(body []byte) (id uint32, qs []Query, err error) {
 	return id, qs, nil
 }
 
-// encodeAnswers builds a frameReply for the batch.
-func encodeAnswers(id uint32, as []Answer) []byte {
+// EncodeAnswers builds a FrameReply for the batch.
+func EncodeAnswers(id uint32, as []Answer) []byte {
 	buf := make([]byte, 0, 16+8*len(as))
 	buf = append(buf, 0, 0, 0, 0)
-	buf = append(buf, frameReply)
+	buf = append(buf, FrameReply)
 	buf = binary.LittleEndian.AppendUint32(buf, id)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(as)))
 	for _, a := range as {
@@ -217,8 +222,8 @@ func encodeAnswers(id uint32, as []Answer) []byte {
 	return buf
 }
 
-// decodeAnswers parses a frameReply body (after the type byte).
-func decodeAnswers(body []byte) (id uint32, as []Answer, err error) {
+// DecodeAnswers parses a FrameReply body (after the type byte).
+func DecodeAnswers(body []byte) (id uint32, as []Answer, err error) {
 	if len(body) < 6 {
 		return 0, nil, fmt.Errorf("server: truncated reply frame")
 	}
@@ -271,17 +276,36 @@ func decodeAnswers(body []byte) (id uint32, as []Answer, err error) {
 	return id, as, nil
 }
 
-// encodeOverload builds a frameOverload.
-func encodeOverload(id uint32) []byte {
+// EncodeOverload builds a FrameOverload.
+func EncodeOverload(id uint32) []byte { return encodeBare(FrameOverload, id) }
+
+// EncodePing builds a FramePing: the cheapest possible health check, one
+// queue-bypassing round trip on an already-open binary connection.
+func EncodePing(id uint32) []byte { return encodeBare(FramePing, id) }
+
+// EncodePong builds a FramePong.
+func EncodePong(id uint32) []byte { return encodeBare(FramePong, id) }
+
+// encodeBare builds a body-less frame: length | type | id.
+func encodeBare(kind byte, id uint32) []byte {
 	buf := make([]byte, 4+1+4)
 	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
-	buf[4] = frameOverload
+	buf[4] = kind
 	binary.LittleEndian.PutUint32(buf[5:], id)
 	return buf
 }
 
-// readFrame reads one frame and returns its type and body (id included).
-func readFrame(r *bufio.Reader) (kind byte, body []byte, err error) {
+// FrameID extracts the request id from a frame body (the 4 bytes after
+// the type, present in every frame type).
+func FrameID(body []byte) (uint32, error) {
+	if len(body) < 4 {
+		return 0, fmt.Errorf("server: truncated frame: no request id")
+	}
+	return binary.LittleEndian.Uint32(body), nil
+}
+
+// ReadFrame reads one frame and returns its type and body (id included).
+func ReadFrame(r *bufio.Reader) (kind byte, body []byte, err error) {
 	var head [4]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return 0, nil, err

@@ -17,18 +17,18 @@ func TestQueryRoundTrip(t *testing.T) {
 		{Kind: KindLine, Board: awari.Board{1, 1, 0, 0, 0, 1, 2, 0, 0, 0, 0, 0}, MaxPlies: 10},
 		{Kind: KindProbe, Shard: "ttt", Index: 123456789},
 	}
-	frame, err := encodeQueries(42, qs)
+	frame, err := EncodeQueries(42, qs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	kind, body, err := readFrame(bufio.NewReader(bytes.NewReader(frame)))
+	kind, body, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kind != frameQuery {
-		t.Fatalf("frame type = %d, want %d", kind, frameQuery)
+	if kind != FrameQuery {
+		t.Fatalf("frame type = %d, want %d", kind, FrameQuery)
 	}
-	id, got, err := decodeQueries(body)
+	id, got, err := DecodeQueries(body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,15 +47,15 @@ func TestAnswerRoundTrip(t *testing.T) {
 		{Err: "no database for 49 stones"},
 		{Value: 0, Pit: 0},
 	}
-	frame := encodeAnswers(7, as)
-	kind, body, err := readFrame(bufio.NewReader(bytes.NewReader(frame)))
+	frame := EncodeAnswers(7, as)
+	kind, body, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kind != frameReply {
-		t.Fatalf("frame type = %d, want %d", kind, frameReply)
+	if kind != FrameReply {
+		t.Fatalf("frame type = %d, want %d", kind, FrameReply)
 	}
-	id, got, err := decodeAnswers(body)
+	id, got, err := DecodeAnswers(body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,53 +68,53 @@ func TestAnswerRoundTrip(t *testing.T) {
 }
 
 func TestOverloadRoundTrip(t *testing.T) {
-	frame := encodeOverload(99)
-	kind, body, err := readFrame(bufio.NewReader(bytes.NewReader(frame)))
+	frame := EncodeOverload(99)
+	kind, body, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kind != frameOverload || len(body) != 4 {
+	if kind != FrameOverload || len(body) != 4 {
 		t.Fatalf("frame = type %d, %d body bytes", kind, len(body))
 	}
 }
 
 func TestEncodeRejects(t *testing.T) {
-	if _, err := encodeQueries(0, nil); err == nil {
+	if _, err := EncodeQueries(0, nil); err == nil {
 		t.Error("empty batch accepted")
 	}
-	if _, err := encodeQueries(0, make([]Query, MaxBatch+1)); err == nil {
+	if _, err := EncodeQueries(0, make([]Query, MaxBatch+1)); err == nil {
 		t.Error("oversized batch accepted")
 	}
-	if _, err := encodeQueries(0, []Query{{Kind: KindLine, MaxPlies: MaxLinePlies + 1}}); err == nil {
+	if _, err := EncodeQueries(0, []Query{{Kind: KindLine, MaxPlies: MaxLinePlies + 1}}); err == nil {
 		t.Error("oversized line accepted")
 	}
-	if _, err := encodeQueries(0, []Query{{Kind: KindProbe, Shard: ""}}); err == nil {
+	if _, err := EncodeQueries(0, []Query{{Kind: KindProbe, Shard: ""}}); err == nil {
 		t.Error("empty shard name accepted")
 	}
-	if _, err := encodeQueries(0, []Query{{Kind: KindProbe, Shard: strings.Repeat("x", 256)}}); err == nil {
+	if _, err := EncodeQueries(0, []Query{{Kind: KindProbe, Shard: strings.Repeat("x", 256)}}); err == nil {
 		t.Error("oversized shard name accepted")
 	}
-	if _, err := encodeQueries(0, []Query{{Kind: 99}}); err == nil {
+	if _, err := EncodeQueries(0, []Query{{Kind: 99}}); err == nil {
 		t.Error("unknown kind accepted")
 	}
 }
 
 func TestDecodeRejects(t *testing.T) {
 	// A board pit over MaxStones must be refused at decode time.
-	frame, err := encodeQueries(0, []Query{{Kind: KindValue, Board: awari.Board{49}}})
+	frame, err := EncodeQueries(0, []Query{{Kind: KindValue, Board: awari.Board{49}}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := decodeQueries(frame[5:]); err == nil {
+	if _, _, err := DecodeQueries(frame[5:]); err == nil {
 		t.Error("board with a 49-stone pit accepted")
 	}
 	// Truncated bodies must error, not panic.
-	good, err := encodeQueries(3, []Query{{Kind: KindProbe, Shard: "ttt", Index: 9}})
+	good, err := EncodeQueries(3, []Query{{Kind: KindProbe, Shard: "ttt", Index: 9}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for cut := 5; cut < len(good); cut++ {
-		if _, _, err := decodeQueries(good[5:cut]); err == nil {
+		if _, _, err := DecodeQueries(good[5:cut]); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
 		}
 	}
@@ -124,7 +124,36 @@ func TestDecodeRejects(t *testing.T) {
 	head[1] = 0xFF
 	head[2] = 0xFF
 	head[3] = 0x7F
-	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(head[:]))); err == nil {
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(head[:]))); err == nil {
 		t.Error("oversized frame accepted")
+	}
+}
+
+func TestPingPongFrames(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		frame []byte
+		kind  byte
+	}{
+		{"ping", EncodePing(77), FramePing},
+		{"pong", EncodePong(78), FramePong},
+	} {
+		kind, body, err := ReadFrame(bufio.NewReader(bytes.NewReader(tc.frame)))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if kind != tc.kind {
+			t.Fatalf("%s: frame type = %d, want %d", tc.name, kind, tc.kind)
+		}
+		id, err := FrameID(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := map[byte]uint32{FramePing: 77, FramePong: 78}[tc.kind]; id != want {
+			t.Errorf("%s: id = %d, want %d", tc.name, id, want)
+		}
+	}
+	if _, err := FrameID([]byte{1, 2}); err == nil {
+		t.Error("FrameID accepted a truncated body")
 	}
 }

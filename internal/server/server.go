@@ -108,10 +108,11 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 
-	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+	connsTorn bool // Close has swept conns; late arrivals must self-close
 
-	httpL   *chanListener
+	httpL   *HTTPListener
 	httpSrv *http.Server
 
 	wg sync.WaitGroup // accept loop, workers, connection readers
@@ -127,6 +128,7 @@ type metrics struct {
 	queries   atomic.Uint64
 	overloads atomic.Uint64
 	errors    atomic.Uint64 // per-query failures
+	pings     atomic.Uint64 // binary-protocol liveness probes answered
 }
 
 // Start discovers shards under cfg.Dir, listens on addr (e.g.
@@ -147,7 +149,7 @@ func Start(addr string, cfg Config) (*Server, error) {
 		l:     l,
 		jobs:  make(chan *job, cfg.queueDepth()),
 		conns: map[net.Conn]struct{}{},
-		httpL: newChanListener(l.Addr()),
+		httpL: NewHTTPListener(l.Addr()),
 	}
 	s.httpSrv = &http.Server{
 		Handler:      s.httpMux(),
@@ -189,6 +191,7 @@ func (s *Server) Close() error {
 	s.httpSrv.Close()  // http connections torn down
 	s.httpL.Close()    // httpSrv.Serve returns
 	s.connMu.Lock()    // binary connections torn down, readers exit
+	s.connsTorn = true
 	for c := range s.conns {
 		c.Close()
 	}
@@ -351,19 +354,27 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(c net.Conn) {
 	defer s.wg.Done()
-	br := bufio.NewReader(c)
-	first, err := br.Peek(4)
-	if err != nil {
+	// Track before the first read: a connection accepted just as Close
+	// sweeps s.conns would otherwise be closed by nobody, and Close's
+	// wg.Wait() would hang on its blocked reader.
+	if !s.track(c) {
 		c.Close()
 		return
 	}
-	if isHTTP(first) {
-		// Hand the connection (with its peeked bytes) to net/http; the
-		// HTTP server owns its lifecycle from here.
-		s.httpL.deliver(&bufConn{Conn: c, br: br})
+	br := bufio.NewReader(c)
+	first, err := br.Peek(4)
+	if err != nil {
+		s.untrack(c)
+		c.Close()
 		return
 	}
-	s.track(c)
+	if IsHTTP(first) {
+		// Hand the connection (with its peeked bytes) to net/http; the
+		// HTTP server owns its lifecycle from here.
+		s.untrack(c)
+		s.httpL.Deliver(&BufConn{Conn: c, R: br})
+		return
+	}
 	defer s.untrack(c)
 	defer c.Close()
 
@@ -371,20 +382,34 @@ func (s *Server) serveConn(c net.Conn) {
 	var pending sync.WaitGroup
 	defer pending.Wait()
 	for {
-		kind, body, err := readFrame(br)
+		kind, body, err := ReadFrame(br)
 		if err != nil {
 			return
 		}
-		if kind != frameQuery {
+		if kind == FramePing {
+			// Liveness probes bypass admission and the queue: a loaded or
+			// draining server is still alive, and health checkers must see
+			// that distinction.
+			id, err := FrameID(body)
+			if err != nil {
+				return
+			}
+			s.m.pings.Add(1)
+			wmu.Lock()
+			c.Write(EncodePong(id))
+			wmu.Unlock()
+			continue
+		}
+		if kind != FrameQuery {
 			return
 		}
-		id, qs, err := decodeQueries(body)
+		id, qs, err := DecodeQueries(body)
 		if err != nil {
 			return
 		}
 		if !s.begin() {
 			wmu.Lock()
-			c.Write(encodeOverload(id))
+			c.Write(EncodeOverload(id))
 			wmu.Unlock()
 			continue
 		}
@@ -397,9 +422,9 @@ func (s *Server) serveConn(c net.Conn) {
 			answers, err := s.execute(qs)
 			var frame []byte
 			if err != nil {
-				frame = encodeOverload(id)
+				frame = EncodeOverload(id)
 			} else {
-				frame = encodeAnswers(id, answers)
+				frame = EncodeAnswers(id, answers)
 			}
 			wmu.Lock()
 			c.Write(frame)
@@ -408,16 +433,58 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 }
 
-func (s *Server) track(c net.Conn) {
+// track registers a live connection for teardown; false means Close
+// has already swept the set and the caller must close c itself.
+func (s *Server) track(c net.Conn) bool {
 	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.connsTorn {
+		return false
+	}
 	s.conns[c] = struct{}{}
-	s.connMu.Unlock()
+	return true
 }
 
 func (s *Server) untrack(c net.Conn) {
 	s.connMu.Lock()
 	delete(s.conns, c)
 	s.connMu.Unlock()
+}
+
+// ServerMetrics is the machine-readable request-path snapshot behind
+// /metrics: what a fleet dashboard scrapes, where /stats renders tables
+// for humans.
+type ServerMetrics struct {
+	Batches           uint64  `json:"batches"`
+	Queries           uint64  `json:"queries"`
+	Overloads         uint64  `json:"overloads"`
+	QueryErrors       uint64  `json:"queryErrors"`
+	Pings             uint64  `json:"pings"`
+	QueueDepth        int     `json:"queueDepth"`
+	LatencyMeanMicros float64 `json:"latencyMeanMicros"`
+	LatencyP50Micros  uint64  `json:"latencyP50Micros"`
+	LatencyP99Micros  uint64  `json:"latencyP99Micros"`
+	LatencyP999Micros uint64  `json:"latencyP999Micros"`
+	ResidentBytes     uint64  `json:"residentBytes"`
+	BudgetBytes       uint64  `json:"budgetBytes"`
+}
+
+// Metrics snapshots the server-wide counters.
+func (s *Server) Metrics() ServerMetrics {
+	return ServerMetrics{
+		Batches:           s.m.batches.Count(),
+		Queries:           s.m.queries.Load(),
+		Overloads:         s.m.overloads.Load(),
+		QueryErrors:       s.m.errors.Load(),
+		Pings:             s.m.pings.Load(),
+		QueueDepth:        len(s.jobs),
+		LatencyMeanMicros: s.m.latency.Mean(),
+		LatencyP50Micros:  s.m.latency.Quantile(0.5),
+		LatencyP99Micros:  s.m.latency.Quantile(0.99),
+		LatencyP999Micros: s.m.latency.Quantile(0.999),
+		ResidentBytes:     s.cache.Used(),
+		BudgetBytes:       s.cache.Budget(),
+	}
 }
 
 // StatsTables renders the server's observability surface: per-shard

@@ -465,3 +465,53 @@ func TestRemoteSearch(t *testing.T) {
 		t.Errorf("prober recorded %v", err)
 	}
 }
+
+// TestPing drives the binary liveness op end to end: pongs come back on
+// a live server, interleave correctly with pipelined queries, and the
+// server's ping counter shows up in /metrics.
+func TestPing(t *testing.T) {
+	dir := t.TempDir()
+	l := buildLadder(t)
+	saveRungs(t, l, dir)
+	s := startServer(t, dir, Config{})
+	c := dial(t, s)
+
+	if err := c.Ping(0); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	// Pings interleaved with queries on the same pipelined connection.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Ping(0); err != nil {
+				t.Errorf("concurrent ping: %v", err)
+			}
+			if _, err := c.Value(boardOf(testStones, 0)); err != nil {
+				t.Errorf("query between pings: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var m struct {
+		Server  ServerMetrics `json:"server"`
+		Clients []ClientStats `json:"clients"`
+	}
+	getJSON(t, "http://"+s.Addr()+"/metrics", &m)
+	if m.Server.Pings < 9 {
+		t.Errorf("/metrics pings = %d, want >= 9", m.Server.Pings)
+	}
+	if m.Server.Queries < 8 {
+		t.Errorf("/metrics queries = %d, want >= 8", m.Server.Queries)
+	}
+	if m.Clients == nil {
+		t.Error("/metrics clients list missing (want [] on raserve)")
+	}
+
+	s.Close()
+	if err := c.Ping(0); err == nil {
+		t.Error("ping succeeded against a closed server")
+	}
+}

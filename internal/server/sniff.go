@@ -1,0 +1,73 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+)
+
+// One listener, two protocols: the first bytes of each accepted
+// connection decide whether it speaks HTTP or the length-framed binary
+// batch protocol. These helpers are exported so every front end of the
+// serving tier (raserve itself and the rabroker fan-out) shares one
+// single-port idiom instead of a second implementation.
+
+// IsHTTP reports whether the 4 peeked bytes start an HTTP request line.
+func IsHTTP(b []byte) bool {
+	switch string(b) {
+	case "GET ", "PUT ", "POST", "HEAD", "OPTI", "DELE", "PATC":
+		return true
+	}
+	return false
+}
+
+// BufConn replays already-buffered (sniffed) bytes in front of the raw
+// connection, so the receiving protocol handler sees the stream intact.
+type BufConn struct {
+	net.Conn
+	R *bufio.Reader
+}
+
+func (c *BufConn) Read(p []byte) (int, error) { return c.R.Read(p) }
+
+// HTTPListener adapts sniffed connections to a net.Listener: Deliver
+// feeds connections classified as HTTP, an embedded http.Server Accepts
+// them.
+type HTTPListener struct {
+	ch   chan net.Conn
+	addr net.Addr
+	once sync.Once
+	done chan struct{}
+}
+
+// NewHTTPListener creates a listener reporting addr as its address.
+func NewHTTPListener(addr net.Addr) *HTTPListener {
+	return &HTTPListener{ch: make(chan net.Conn), addr: addr, done: make(chan struct{})}
+}
+
+// Deliver hands one sniffed connection to the HTTP server; after Close
+// the connection is dropped.
+func (l *HTTPListener) Deliver(c net.Conn) {
+	select {
+	case l.ch <- c:
+	case <-l.done:
+		c.Close()
+	}
+}
+
+func (l *HTTPListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, errors.New("server: listener closed")
+	}
+}
+
+func (l *HTTPListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *HTTPListener) Addr() net.Addr { return l.addr }

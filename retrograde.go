@@ -44,6 +44,7 @@ package retrograde
 
 import (
 	"retrograde/internal/awari"
+	"retrograde/internal/broker"
 	"retrograde/internal/chess"
 	"retrograde/internal/db"
 	"retrograde/internal/game"
@@ -227,6 +228,25 @@ func StartDBServer(addr string, cfg DBServerConfig) (*DBServer, error) {
 
 // DialDBServer connects a client to a running DBServer.
 func DialDBServer(addr string) (*DBClient, error) { return server.Dial(addr) }
+
+// Serving tier: a fleet of DBServers behind one address (see
+// cmd/rabroker and internal/broker).
+type (
+	// DBBroker fronts DBServer backends on one listener, speaking the
+	// same binary protocol and HTTP surface: rungs are consistent-hashed
+	// across the fleet, hot rungs replicated everywhere, and dead
+	// backends health-checked and routed around.
+	DBBroker = broker.Broker
+	// DBBrokerConfig lists the backends and sets replication, failover
+	// and health-check policy.
+	DBBrokerConfig = broker.Config
+)
+
+// StartDBBroker fronts the configured backends on addr. Clients dial it
+// exactly as they would a DBServer.
+func StartDBBroker(addr string, cfg DBBrokerConfig) (*DBBroker, error) {
+	return broker.Start(addr, cfg)
+}
 
 // NewRemoteSearcher returns a Searcher whose probes go to a database
 // server instead of a local ladder; probeLimit is the largest stone
