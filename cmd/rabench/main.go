@@ -9,6 +9,7 @@
 //	rabench -stones 10            # override the headline database
 //	rabench -json results.json    # also dump every table as JSON
 //	rabench -cpuprofile cpu.out   # profile the hot path with pprof
+//	rabench -smoke                # E14 kernel check only; exit 1 if SWAR < scalar
 package main
 
 import (
@@ -35,6 +36,7 @@ func run() int {
 	jsonPath := flag.String("json", "", "also write all tables as one JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	smoke := flag.Bool("smoke", false, "run only the E14 kernel comparison and fail if SWAR is slower than scalar")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -84,6 +86,13 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "rabench: %v\n", err)
 			}
 		}()
+	}
+	if *smoke {
+		if err := experiments.E14Smoke(scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rabench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	if err := experiments.RunAll(scale, os.Stdout, !*quiet, *csvDir, *jsonPath); err != nil {
 		fmt.Fprintf(os.Stderr, "rabench: %v\n", err)

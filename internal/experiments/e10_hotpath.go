@@ -20,10 +20,15 @@ func E10HotPath(env *Env) (*stats.Table, error) {
 		fmt.Sprintf("E10: hot-path cost per solve (awari-%d, %s positions)",
 			env.Scale.Stones, stats.Count(slice.Size())),
 		"engine", "wall ms", "heap allocs", "heap bytes", "bytes/position")
+	// Pinned to the scalar kernel: E10 is the baseline that E14 measures
+	// the bit-parallel kernel against, so it must not silently pick up
+	// the SWAR path through kernel auto-selection.
+	t.Kernel = "scalar"
+	scalar := ra.Config{Kernel: ra.KernelScalar}
 	engines := []ra.Engine{
-		ra.Sequential{},
-		ra.Concurrent{Batch: 1},
-		ra.Concurrent{},
+		ra.Sequential{Config: scalar},
+		ra.Concurrent{Batch: 1, Config: scalar},
+		ra.Concurrent{Config: scalar},
 	}
 	perPos := float64(ra.StateBytesPerPosition)
 	for _, e := range engines {

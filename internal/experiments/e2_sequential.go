@@ -14,6 +14,7 @@ func E2Sequential(env *Env) (*stats.Table, error) {
 	t := stats.NewTable(
 		"E2: sequential baseline per rung",
 		"stones", "positions", "waves", "loop pos", "wall ms", "pos/s (host)", "virtual 1995 time")
+	t.Kernel = "scalar" // SolveSequential is pinned to the scalar kernel
 	lo := env.Scale.Stones - 3
 	if lo < 1 {
 		lo = 1

@@ -245,7 +245,7 @@ func TestRunAllQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"E1:", "E2:", "E3:", "E4:", "E5:", "E6a:", "E6b:", "E7:", "E8:", "E9:", "E10:", "E11a:", "E11b:", "E12:", "E13:", "A1:", "A2:", "A3:", "A4:", "V1:"} {
+	for _, want := range []string{"E1:", "E2:", "E3:", "E4:", "E5:", "E6a:", "E6b:", "E7:", "E8:", "E9:", "E10:", "E11a:", "E11b:", "E12:", "E13:", "E14:", "A1:", "A2:", "A3:", "A4:", "V1:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll output missing %q", want)
 		}
@@ -255,23 +255,34 @@ func TestRunAllQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 	var tables []struct {
-		ID   string     `json:"id"`
-		Rows [][]string `json:"rows"`
+		ID     string     `json:"id"`
+		Kernel string     `json:"kernel"`
+		Rows   [][]string `json:"rows"`
 	}
 	if err := json.Unmarshal(raw, &tables); err != nil {
 		t.Fatalf("JSON output: %v", err)
 	}
 	ids := make(map[string]bool)
+	kernels := make(map[string]string)
 	for _, tb := range tables {
 		ids[tb.ID] = true
+		kernels[tb.ID] = tb.Kernel
 		if len(tb.Rows) == 0 {
 			t.Errorf("JSON table %s has no rows", tb.ID)
 		}
 	}
-	for _, want := range []string{"E1", "E10", "V1"} {
+	for _, want := range []string{"E1", "E10", "E14", "V1"} {
 		if !ids[want] {
 			t.Errorf("JSON output missing table %s", want)
 		}
+	}
+	// The hot-path tables must record which kernel produced them, so
+	// BENCH_*.json files stay comparable across kernel-default changes.
+	if kernels["E10"] != "scalar" {
+		t.Errorf("E10 kernel = %q, want scalar", kernels["E10"])
+	}
+	if kernels["E14"] != "scalar+swar" {
+		t.Errorf("E14 kernel = %q, want scalar+swar", kernels["E14"])
 	}
 }
 
@@ -419,5 +430,31 @@ func TestE13Broker(t *testing.T) {
 		if got := tbl.Cell(r, 6); got != "identical to direct" {
 			t.Errorf("row %d (%s) check: %q", r, tbl.Cell(r, 0), got)
 		}
+	}
+}
+
+func TestE14SWAR(t *testing.T) {
+	env := quickEnv(t)
+	tbl, min, err := e14Table(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 4 {
+		t.Fatalf("rows = %d, want 4 (2 engines x 2 kernels)", tbl.Rows())
+	}
+	for r := 0; r < tbl.Rows(); r++ {
+		if k := tbl.Cell(r, 1); k != "scalar" && k != "swar" {
+			t.Errorf("row %d kernel column = %q", r, k)
+		}
+	}
+	if min <= 0 {
+		t.Errorf("min speedup = %v", min)
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "bit-identical") {
+		t.Error("E14 table does not assert database bit-identity")
 	}
 }

@@ -86,6 +86,7 @@ func RunAll(s Scale, w io.Writer, progress bool, csvDir, jsonPath string) error 
 		{"E7", E7SharedMemory},
 		{"E8", E8RealWire},
 		{"E10", E10HotPath},
+		{"E14", E14SWAR},
 		{"E12", E12Faults},
 		{"E13", E13Broker},
 		{"A1", A1Partition},

@@ -168,11 +168,25 @@ func ValidateSample(g Game, targets []uint64) error {
 //   - ValueBits() respects the packing contract (<= PackedValueBits);
 //   - every internal move points inside [0, Size);
 //   - every resolved move carries a real value (not NoValue);
+//   - no position's internal branching exceeds MaxPackedSuccessors
+//     (returned as *CounterOverflowError);
 //   - the predecessor relation is the exact multiset inverse of the
-//     internal move relation.
+//     internal move relation;
+//   - a declared LaneSpec matches MoverValue/Better/Finalizes exactly and
+//     bounds the internal branching as promised;
+//   - the optional batch generators (BatchIniter, BatchExpander,
+//     BatchLooper) agree position-by-position with the scalar methods.
 func Validate(g Game) error {
 	if vb := g.ValueBits(); vb < 1 || vb > PackedValueBits {
 		return fmt.Errorf("game %s: ValueBits %d outside [1, %d] (value packing contract)", g.Name(), vb, PackedValueBits)
+	}
+	var spec LaneSpec
+	laneOK := false
+	if lg, ok := g.(LaneGame); ok {
+		if err := validateLanes(lg); err != nil {
+			return err
+		}
+		spec, laneOK = lg.Lanes()
 	}
 	n := g.Size()
 	// forward[c] counts internal edges q -> c discovered by move
@@ -181,8 +195,10 @@ func Validate(g Game) error {
 	var moves []Move
 	for q := uint64(0); q < n; q++ {
 		moves = g.Moves(q, moves[:0])
+		internal := int64(0)
 		for _, m := range moves {
 			if m.Internal {
+				internal++
 				if m.Child >= n {
 					return fmt.Errorf("game %s: position %d has internal move to %d outside [0, %d)", g.Name(), q, m.Child, n)
 				}
@@ -196,6 +212,15 @@ func Validate(g Game) error {
 				return fmt.Errorf("game %s: position %d has resolved move with NoValue", g.Name(), q)
 			}
 		}
+		if internal > MaxPackedSuccessors {
+			return &CounterOverflowError{Game: g.Name(), Position: q, Internal: internal, Max: MaxPackedSuccessors}
+		}
+		if laneOK && internal > int64(spec.MaxInternal) {
+			return fmt.Errorf("game %s: position %d has %d internal successors, LaneSpec.MaxInternal is %d", g.Name(), q, internal, spec.MaxInternal)
+		}
+	}
+	if err := validateBatch(g); err != nil {
+		return err
 	}
 	var preds []uint64
 	for c := uint64(0); c < n; c++ {

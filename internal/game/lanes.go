@@ -1,0 +1,225 @@
+package game
+
+import "fmt"
+
+// This file defines the opt-in contracts behind the bit-parallel (SWAR)
+// in-core kernels. The scalar engine needs nothing beyond the Game
+// interface; a game that additionally satisfies LaneGame (and whose values
+// are narrow enough) lets the in-core engines pack many positions into one
+// machine word and run the wave loop branchlessly over whole words.
+//
+// The lane layout itself (how value, counter and final flag share a lane)
+// belongs to package ra; what belongs here is the *semantic* contract the
+// SWAR kernels assume, stated as data so Validate can verify it
+// exhaustively against the Game's own methods:
+//
+//   - values are totally ordered by their numeric encoding
+//     (Better(a, b) == a > b for real values);
+//   - the negamax step is an affine reflection
+//     (MoverValue(v) == Neg - v);
+//   - early cutoff happens at exactly one value
+//     (Finalizes(v) == (v == FinalizeAt)), or never (FinalizeAt < 0);
+//   - the internal branching factor is bounded by MaxInternal.
+//
+// Under this contract "no value yet" may be represented as numeric 0
+// inside a lane: for a value-ordered game every real value is >= 0, so
+// max(0, v) == BetterOf(NoValue, v) for every real v, and a position is
+// only ever read back after it finalized with a real value.
+
+// LaneSpec describes a game's value algebra to the SWAR kernels.
+type LaneSpec struct {
+	// Neg is the negamax constant: MoverValue(v) == Neg - v for every
+	// real value v in [0, Neg].
+	Neg Value
+	// FinalizeAt is the unique value whose achievement finalizes a
+	// position immediately (Finalizes(v) == (v == FinalizeAt)), or -1
+	// when no value finalizes early.
+	FinalizeAt int
+	// MaxInternal bounds the number of internal successors of any
+	// position. The SWAR layout dedicates 3 bits to the outstanding-
+	// successor counter, so eligibility requires MaxInternal <= 7.
+	MaxInternal int
+}
+
+// LaneGame is the opt-in interface for the bit-parallel kernels. Lanes
+// returns the game's lane contract; ok reports whether the game's value
+// algebra satisfies it at all (games with WDL-encoded values do not,
+// regardless of width). Eligibility additionally requires ValueBits() to
+// fit the lane value field; package ra checks that.
+type LaneGame interface {
+	Game
+	Lanes() (spec LaneSpec, ok bool)
+}
+
+// InitStat is one position's initialisation summary, produced in bulk by
+// BatchIniter implementations.
+type InitStat struct {
+	// Moves is the number of legal moves (for accounting). 0 means the
+	// position is terminal and Best must hold its TerminalValue.
+	Moves int32
+	// Internal is the number of internal (same-slice) successors.
+	Internal int32
+	// Best is the best value over the resolved (non-internal) moves,
+	// NoValue if every move is internal; for terminal positions, the
+	// terminal value.
+	Best Value
+}
+
+// BatchIniter is an optional Game interface: games that can amortise
+// position decoding over a run of consecutive indices implement it, and
+// the SWAR kernels use it to initialise a whole shard run in one call.
+// The semantics per position must be identical to Moves/TerminalValue.
+type BatchIniter interface {
+	// InitRun fills out[i] with the initialisation summary of position
+	// base+i for i in [0, n); out has length n.
+	InitRun(base uint64, n int, out []InitStat)
+}
+
+// BatchExpander is an optional Game interface: bulk predecessor
+// generation over a run of consecutive indices. The multiset of indices
+// passed to visit for each position must equal Predecessors(base+i).
+type BatchExpander interface {
+	// PredecessorsRun calls visit(i, preds) once for every i in [0, n)
+	// whose position base+i has at least one predecessor; preds is valid
+	// only for the duration of the call.
+	PredecessorsRun(base uint64, n int, visit func(i int, preds []uint64))
+}
+
+// BatchLooper is an optional Game interface: bulk loop values over a run
+// of consecutive indices, used by the SWAR loop-resolution pass. Must
+// agree with LoopValue per position.
+type BatchLooper interface {
+	// LoopValuesRun fills out[i] with LoopValue(base+i) for i in [0, n).
+	LoopValuesRun(base uint64, n int, out []Value)
+}
+
+// MaxPackedSuccessors is the largest internal-successor count the packed
+// scalar state layout can represent (15-bit counter). Games must stay
+// within it; Validate and worker initialisation enforce it with
+// CounterOverflowError instead of letting the counter wrap.
+const MaxPackedSuccessors = 1<<15 - 1
+
+// CounterOverflowError reports a position whose internal branching factor
+// exceeds what a packed successor counter can hold.
+type CounterOverflowError struct {
+	Game     string // game name
+	Position uint64 // global position index
+	Internal int64  // internal successors found
+	Max      int64  // largest representable count
+}
+
+func (e *CounterOverflowError) Error() string {
+	return fmt.Sprintf("game %s: position %d has %d internal successors, packed counter supports at most %d",
+		e.Game, e.Position, e.Internal, e.Max)
+}
+
+// validateBatch checks the optional batch generators against the scalar
+// methods, position by position over the whole space (in runs of mixed
+// lengths so run boundaries are exercised).
+func validateBatch(g Game) error {
+	n := g.Size()
+	bi, hasInit := g.(BatchIniter)
+	be, hasExp := g.(BatchExpander)
+	bl, hasLoop := g.(BatchLooper)
+	if !hasInit && !hasExp && !hasLoop {
+		return nil
+	}
+	var moves []Move
+	var preds []uint64
+	stats := make([]InitStat, 0, 64)
+	loops := make([]Value, 0, 64)
+	got := make(map[uint64]int)
+	for base, runLen := uint64(0), 1; base < n; base += uint64(runLen) {
+		if runLen = runLen*2 + 1; uint64(runLen) > n-base {
+			runLen = int(n - base)
+		}
+		if hasInit {
+			stats = append(stats[:0], make([]InitStat, runLen)...)
+			bi.InitRun(base, runLen, stats)
+		}
+		if hasLoop {
+			loops = append(loops[:0], make([]Value, runLen)...)
+			bl.LoopValuesRun(base, runLen, loops)
+		}
+		expanded := make([][]uint64, runLen)
+		if hasExp {
+			be.PredecessorsRun(base, runLen, func(i int, p []uint64) {
+				expanded[i] = append([]uint64(nil), p...)
+			})
+		}
+		for i := 0; i < runLen; i++ {
+			idx := base + uint64(i)
+			moves = g.Moves(idx, moves[:0])
+			if hasInit {
+				want := InitStat{Moves: int32(len(moves)), Best: NoValue}
+				for _, m := range moves {
+					if m.Internal {
+						want.Internal++
+					} else if want.Best == NoValue || g.Better(m.Value, want.Best) {
+						want.Best = m.Value
+					}
+				}
+				if len(moves) == 0 {
+					want.Best = g.TerminalValue(idx)
+				}
+				if stats[i] != want {
+					return fmt.Errorf("game %s: InitRun(%d) = %+v, scalar init gives %+v", g.Name(), idx, stats[i], want)
+				}
+			}
+			if hasLoop {
+				if want := g.LoopValue(idx); loops[i] != want {
+					return fmt.Errorf("game %s: LoopValuesRun(%d) = %d, LoopValue gives %d", g.Name(), idx, loops[i], want)
+				}
+			}
+			if hasExp {
+				preds = g.Predecessors(idx, preds[:0])
+				clear(got)
+				for _, q := range preds {
+					got[q]++
+				}
+				for _, q := range expanded[i] {
+					got[q]--
+				}
+				for q, k := range got {
+					if k != 0 {
+						return fmt.Errorf("game %s: PredecessorsRun(%d) disagrees with Predecessors about %d (multiplicity off by %d)", g.Name(), idx, q, -k)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validateLanes checks a LaneGame's declared LaneSpec against the game's
+// own methods, exhaustively over the value range [0, Neg]. Returns nil
+// for games that decline the contract (ok == false).
+func validateLanes(g LaneGame) error {
+	spec, ok := g.Lanes()
+	if !ok {
+		return nil
+	}
+	if spec.Neg == NoValue {
+		return fmt.Errorf("game %s: LaneSpec.Neg is NoValue", g.Name())
+	}
+	if spec.MaxInternal < 0 {
+		return fmt.Errorf("game %s: LaneSpec.MaxInternal %d negative", g.Name(), spec.MaxInternal)
+	}
+	if spec.FinalizeAt >= 0 && Value(spec.FinalizeAt) > spec.Neg {
+		return fmt.Errorf("game %s: LaneSpec.FinalizeAt %d outside value range [0, %d]", g.Name(), spec.FinalizeAt, spec.Neg)
+	}
+	for v := Value(0); v <= spec.Neg; v++ {
+		if got, want := g.MoverValue(v), spec.Neg-v; got != want {
+			return fmt.Errorf("game %s: MoverValue(%d) = %d, LaneSpec.Neg %d implies %d", g.Name(), v, got, spec.Neg, want)
+		}
+		if got, want := g.Finalizes(v), spec.FinalizeAt >= 0 && int(v) == spec.FinalizeAt; got != want {
+			return fmt.Errorf("game %s: Finalizes(%d) = %v, LaneSpec.FinalizeAt %d implies %v", g.Name(), v, got, spec.FinalizeAt, want)
+		}
+		for u := Value(0); u <= spec.Neg; u++ {
+			if got, want := g.Better(v, u), v > u; got != want {
+				return fmt.Errorf("game %s: Better(%d, %d) = %v, lane order implies %v", g.Name(), v, u, got, want)
+			}
+		}
+	}
+	return nil
+}

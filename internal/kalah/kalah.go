@@ -267,6 +267,20 @@ func (s *Slice) Predecessors(idx uint64, buf []uint64) []uint64 {
 	return buf
 }
 
+// Lanes implements game.LaneGame: kalah's values are totally ordered on
+// [0, stones] with the affine negamax v -> stones-v and early cutoff at
+// banking everything. An internal move is a single sow that stays in the
+// mover's row without banking or capturing, so it starts from pits 0..4
+// (one stone from pit 5 always reaches the store): at most 5 internal
+// successors.
+func (s *Slice) Lanes() (game.LaneSpec, bool) {
+	return game.LaneSpec{
+		Neg:         game.Value(s.stones),
+		FinalizeAt:  s.stones,
+		MaxInternal: RowSize - 1,
+	}, true
+}
+
 // MoverValue implements game.Game.
 func (s *Slice) MoverValue(child game.Value) game.Value {
 	return game.Value(s.stones) - child

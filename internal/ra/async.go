@@ -260,7 +260,7 @@ func newAsyncNode(run *asyncRun, id int) *asyncNode {
 func (n *asyncNode) start() {
 	n.node.Start(func() {
 		n.node.Busy(n.run.comp.PerInit * sim.Time(n.w.ShardSize()))
-		n.w.Init()
+		mustInit(n.w)
 		if n.node.ID() == 0 {
 			// Node 0 holds the initial token; the first probe starts
 			// once it goes passive.

@@ -44,15 +44,19 @@ func (w *Worker) WriteCheckpoint(out io.Writer, waves int) error {
 		return err
 	}
 	// The on-disk format predates the packed state word and stores the
-	// three logical arrays separately; decode them so old checkpoints
-	// stay readable.
-	vals := make([]game.Value, len(w.state))
-	cnts := make([]int32, len(w.state))
-	finals := make([]byte, len(w.state))
-	for i, s := range w.state {
-		vals[i] = stateValue(s)
-		cnts[i] = stateCounter(s)
-		if stateFinal(s) {
+	// three logical arrays separately; decode them (through the kernel-
+	// agnostic accessors, so SWAR workers checkpoint too) so old
+	// checkpoints stay readable. A SWAR worker's undetermined positions
+	// serialise their "no value yet" as 0 — order-equivalent under the
+	// lane contract, and restored workers are scalar either way.
+	n := w.ShardSize()
+	vals := make([]game.Value, n)
+	cnts := make([]int32, n)
+	finals := make([]byte, n)
+	for i := uint64(0); i < n; i++ {
+		vals[i] = w.valueAt(i)
+		cnts[i] = w.counterAt(i)
+		if w.finalAt(i) {
 			finals[i] = 1
 		}
 	}
@@ -200,7 +204,9 @@ func (e Resumable) Solve(g game.Game) (*Result, error) {
 	} else if os.IsNotExist(err) {
 		part := Cyclic(g.Size(), 1)
 		w = NewWorker(g, part, 0)
-		w.Init()
+		if _, err := w.Init(); err != nil {
+			return nil, err
+		}
 	} else {
 		return nil, err
 	}

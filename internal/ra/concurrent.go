@@ -28,6 +28,10 @@ type Concurrent struct {
 	Batch int
 	// Group is the block-cyclic partition group size; 0 means 1 (cyclic).
 	Group uint64
+	// Config selects the wave kernel (auto by default). Under the SWAR
+	// kernel the transport carries run-encoded update batches (UpdateRun)
+	// instead of individual updates.
+	Config Config
 }
 
 // Name implements Engine.
@@ -60,12 +64,14 @@ func (c Concurrent) group() uint64 {
 // drains, so incoming batches are consumed while expansion is in flight.
 const expandChunk = 512
 
-// waveMsg is one message on a worker's inbox: either a batch of updates
-// or the end-of-wave signal from one sender. The explicit done flag
-// (rather than a nil-slice sentinel) means a legitimately empty batch can
-// never be mistaken for end-of-wave.
+// waveMsg is one message on a worker's inbox: a batch of updates (scalar
+// kernel), a batch of run-encoded updates (SWAR kernel), or the
+// end-of-wave signal from one sender. The explicit done flag (rather than
+// a nil-slice sentinel) means a legitimately empty batch can never be
+// mistaken for end-of-wave.
 type waveMsg struct {
 	batch []Update
+	runs  []UpdateRun
 	done  bool
 }
 
@@ -78,31 +84,43 @@ type waveWorker struct {
 	me    int
 	p     int
 	w     *Worker
-	inbox []chan waveMsg // all inboxes; ours is inbox[me]
-	free  chan []Update  // shared pool of recycled batch arrays
+	inbox []chan waveMsg   // all inboxes; ours is inbox[me]
+	free  chan []Update    // shared pool of recycled batch arrays
+	rfree chan []UpdateRun // shared pool of recycled run arrays (SWAR)
 	buf   *combine.Buffer[Update]
-	cap   int // batch capacity
+	rbuf  *combine.Buffer[UpdateRun] // run transport (SWAR kernel only)
+	cap   int                        // batch capacity
 
-	applyFn func(Update)              // bound w.Apply, allocated once
-	addFn   func(owner int, u Update) // bound buf.Add, allocated once
-	done    int                       // end-of-wave signals seen this wave
+	applyFn  func(Update)                 // bound w.Apply, allocated once
+	addFn    func(owner int, u Update)    // bound buf.Add, allocated once
+	addRunFn func(owner int, r UpdateRun) // bound rbuf.Add (SWAR)
+	done     int                          // end-of-wave signals seen this wave
 }
 
-func newWaveWorker(w *Worker, inbox []chan waveMsg, free chan []Update, batch int) *waveWorker {
+func newWaveWorker(w *Worker, inbox []chan waveMsg, free chan []Update, rfree chan []UpdateRun, batch int) *waveWorker {
 	ww := &waveWorker{
 		me:    w.ID(),
 		p:     len(inbox),
 		w:     w,
 		inbox: inbox,
 		free:  free,
+		rfree: rfree,
 		cap:   batch,
 	}
-	ww.buf = combine.MustNew(ww.p, batch, func(dst int, b []Update) {
-		ww.post(dst, waveMsg{batch: b})
-	})
-	ww.buf.SetAlloc(ww.alloc)
-	ww.applyFn = w.Apply
-	ww.addFn = ww.buf.Add
+	if w.Kernel() == KernelSWAR {
+		ww.rbuf = combine.MustNew(ww.p, batch, func(dst int, b []UpdateRun) {
+			ww.post(dst, waveMsg{runs: b})
+		})
+		ww.rbuf.SetAlloc(ww.allocRuns)
+		ww.addRunFn = ww.rbuf.Add
+	} else {
+		ww.buf = combine.MustNew(ww.p, batch, func(dst int, b []Update) {
+			ww.post(dst, waveMsg{batch: b})
+		})
+		ww.buf.SetAlloc(ww.alloc)
+		ww.applyFn = w.Apply
+		ww.addFn = ww.buf.Add
+	}
 	return ww
 }
 
@@ -126,10 +144,35 @@ func (ww *waveWorker) recycle(b []Update) {
 	}
 }
 
+// allocRuns and recycleRuns are the run-array counterparts used by the
+// SWAR transport.
+func (ww *waveWorker) allocRuns() []UpdateRun {
+	select {
+	case b := <-ww.rfree:
+		return b
+	default:
+		return make([]UpdateRun, 0, ww.cap)
+	}
+}
+
+func (ww *waveWorker) recycleRuns(b []UpdateRun) {
+	select {
+	case ww.rfree <- b[:0]:
+	default:
+	}
+}
+
 // apply consumes one inbox message.
 func (ww *waveWorker) apply(m waveMsg) {
 	if m.done {
 		ww.done++
+		return
+	}
+	if m.runs != nil {
+		for _, r := range m.runs {
+			ww.w.ApplyRun(r)
+		}
+		ww.recycleRuns(m.runs)
 		return
 	}
 	for _, u := range m.batch {
@@ -171,14 +214,25 @@ func (ww *waveWorker) drain() {
 // until all peers have signalled.
 func (ww *waveWorker) wave() {
 	ww.done = 0
-	for {
-		k := ww.w.ExpandLocal(expandChunk, ww.applyFn, ww.addFn)
-		if k == 0 {
-			break
+	if ww.rbuf != nil {
+		for {
+			k := ww.w.ExpandRuns(expandChunk, ww.addRunFn)
+			if k == 0 {
+				break
+			}
+			ww.drain()
 		}
-		ww.drain()
+		ww.rbuf.FlushAll()
+	} else {
+		for {
+			k := ww.w.ExpandLocal(expandChunk, ww.applyFn, ww.addFn)
+			if k == 0 {
+				break
+			}
+			ww.drain()
+		}
+		ww.buf.FlushAll()
 	}
-	ww.buf.FlushAll()
 	for dst := 0; dst < ww.p; dst++ {
 		if dst == ww.me {
 			ww.done++
@@ -203,29 +257,40 @@ func (c Concurrent) Solve(g game.Game) (*Result, error) {
 	// own inbox while blocked, so any buffer size is deadlock-free.
 	inbox := make([]chan waveMsg, p)
 	for i := range workers {
-		workers[i] = NewWorker(g, part, i)
+		workers[i], err = NewWorkerKernel(g, part, i, c.Config.Kernel)
+		if err != nil {
+			return nil, err
+		}
 		inbox[i] = make(chan waveMsg, 4*p)
 	}
 	// free is the shared emit/recycle pool of batch backing arrays;
 	// after warm-up, waves move updates without allocating. Sized to hold
 	// every array that can circulate at once (all inbox slots plus every
 	// sender's partial per-destination batches), so recycles never drop.
+	// Only the pool matching the resolved kernel ever circulates arrays.
 	free := make(chan []Update, 5*p*p+p)
+	rfree := make(chan []UpdateRun, 5*p*p+p)
 	wws := make([]*waveWorker, p)
 	for i, w := range workers {
-		wws[i] = newWaveWorker(w, inbox, free, c.batch())
+		wws[i] = newWaveWorker(w, inbox, free, rfree, c.batch())
 	}
 
 	// Phase 1: initialisation, embarrassingly parallel.
 	var wg sync.WaitGroup
-	for _, w := range workers {
+	initErrs := make([]error, p)
+	for i, w := range workers {
 		wg.Add(1)
-		go func(w *Worker) {
+		go func(i int, w *Worker) {
 			defer wg.Done()
-			w.Init()
-		}(w)
+			_, initErrs[i] = w.Init()
+		}(i, w)
 	}
 	wg.Wait()
+	for _, e := range initErrs {
+		if e != nil {
+			return nil, e
+		}
+	}
 
 	// Phase 2: wave-synchronous propagation. Each wave, every shard runs
 	// one goroutine that interleaves expansion with draining its inbox
@@ -288,5 +353,6 @@ func (c Concurrent) Solve(g game.Game) (*Result, error) {
 		LoopPositions: loops,
 		Loop:          loopBits,
 		Workers:       stats,
+		Kernel:        workers[0].Kernel().String(),
 	}, nil
 }

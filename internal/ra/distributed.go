@@ -427,7 +427,7 @@ func (n *distNode) send(dst int, payload any, bytes int) {
 func (n *distNode) start() {
 	n.node.Start(func() {
 		n.node.Busy(n.run.comp.PerInit * sim.Time(n.w.ShardSize()))
-		n.w.Init()
+		mustInit(n.w)
 		n.selfDone(0, 0)
 	})
 }

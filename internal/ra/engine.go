@@ -12,13 +12,17 @@ type Engine interface {
 }
 
 // Sequential is the single-worker baseline engine — the paper's
-// uniprocessor measurement.
-type Sequential struct{}
+// uniprocessor measurement. The zero value picks the wave kernel
+// automatically (bit-parallel for eligible games, scalar otherwise);
+// Config pins one explicitly.
+type Sequential struct {
+	Config Config
+}
 
 // Name implements Engine.
 func (Sequential) Name() string { return "sequential" }
 
 // Solve implements Engine.
-func (Sequential) Solve(g game.Game) (*Result, error) {
-	return SolveSequential(g), nil
+func (s Sequential) Solve(g game.Game) (*Result, error) {
+	return solveSequential(g, s.Config.Kernel)
 }

@@ -17,6 +17,9 @@ type Result struct {
 	Loop []uint64
 	// Workers holds per-shard work counters.
 	Workers []WorkerStats
+	// Kernel names the wave kernel that produced the result ("scalar" or
+	// "swar"); both kernels produce bit-identical databases.
+	Kernel string
 	// Sim holds the simulation report when the Distributed engine
 	// produced this result; nil otherwise.
 	Sim *SimReport
@@ -47,18 +50,42 @@ func (r *Result) Totals() WorkerStats {
 	return t
 }
 
-// SolveSequential runs retrograde analysis on a single worker — the
-// uniprocessor baseline the paper's 40-hour measurement refers to.
+// SolveSequential runs retrograde analysis on a single scalar-kernel
+// worker — the uniprocessor baseline the paper's 40-hour measurement
+// refers to. The Sequential engine (which defaults to KernelAuto) is the
+// configurable front door; this function stays pinned to the scalar
+// kernel so baselines remain comparable across PRs.
 func SolveSequential(g game.Game) *Result {
+	r, err := solveSequential(g, KernelScalar)
+	if err != nil {
+		// KernelScalar never fails to construct; Init errors are game-
+		// construction bugs (game.Validate reports them as errors).
+		panic(err)
+	}
+	return r
+}
+
+// solveSequential runs the single-worker solve under the given kernel.
+func solveSequential(g game.Game, k Kernel) (*Result, error) {
 	part := Cyclic(g.Size(), 1)
-	w := NewWorker(g, part, 0)
-	w.Init()
+	w, err := NewWorkerKernel(g, part, 0, k)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Init(); err != nil {
+		return nil, err
+	}
+	swar := w.Kernel() == KernelSWAR
 	waves := 0
 	for w.BeginWave() > 0 {
 		waves++
 		// Single shard: every edge is self-owned, so the self-delivery
 		// fast path applies each update inline.
-		w.ExpandLocal(0, w.Apply, nil)
+		if swar {
+			w.ExpandRuns(0, nil)
+		} else {
+			w.ExpandLocal(0, w.Apply, nil)
+		}
 	}
 	loops := w.ResolveLoops()
 	values := make([]game.Value, g.Size())
@@ -71,5 +98,6 @@ func SolveSequential(g game.Game) *Result {
 		LoopPositions: loops,
 		Loop:          loopBits,
 		Workers:       []WorkerStats{w.Stats},
-	}
+		Kernel:        w.Kernel().String(),
+	}, nil
 }

@@ -1,0 +1,521 @@
+package ra
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"retrograde/internal/game"
+)
+
+// This file implements the bit-parallel (SWAR) in-core wave kernel: eight
+// positions' analysis state packed one byte each into uint64 words, with
+// the propagation primitives operating on whole words branchlessly. The
+// scalar uint32-per-position kernel (worker.go) remains the fallback for
+// wide-valued games and the parity oracle; both kernels produce
+// bit-identical databases (same values, same waves, same loop sets).
+//
+// Lane layout, one byte per position:
+//
+//	bits 0..3  value   (game.Value, <= 4 bits; "no value yet" stored as 0,
+//	                    which is order-equivalent under the LaneSpec
+//	                    contract — see game/lanes.go)
+//	bits 4..6  counter (outstanding internal successors, <= 7)
+//	bit     7  final
+//
+// Eligibility: the game implements game.LaneGame, its LaneSpec holds
+// (value-ordered, affine negamax, single finalizing value), its values fit
+// 4 bits and its internal branching fits 3 bits. Awari rungs with up to 15
+// stones and kalah rungs with up to 15 stones qualify; the WDL games
+// (ttt, nim, chess endgames) use 16-bit values and stay scalar.
+
+// Kernel selects the in-core wave kernel implementation.
+type Kernel uint8
+
+const (
+	// KernelAuto picks the SWAR kernel when the game is eligible and the
+	// scalar kernel otherwise. The default.
+	KernelAuto Kernel = iota
+	// KernelScalar forces the one-uint32-per-position kernel (the E10
+	// baseline and the parity oracle).
+	KernelScalar
+	// KernelSWAR forces the bit-parallel kernel; worker construction
+	// fails for ineligible games instead of silently falling back.
+	KernelSWAR
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelScalar:
+		return "scalar"
+	case KernelSWAR:
+		return "swar"
+	}
+	return fmt.Sprintf("Kernel(%d)", uint8(k))
+}
+
+// Config tunes the in-core engines (Sequential, Concurrent). The
+// distributed and simulated engines do not take a Config: they keep the
+// honest scalar per-message path so the paper's traffic and wave numbers
+// stay meaningful.
+type Config struct {
+	// Kernel selects the wave kernel; zero value is KernelAuto.
+	Kernel Kernel
+}
+
+// Lane field layout (one byte per position).
+const (
+	laneValueBits      = 4
+	laneValueMask byte = 0x0F
+	laneCntShift       = 4
+	laneCntField  byte = 0x70
+	laneCntOne    byte = 1 << laneCntShift
+	laneFinalBit  byte = 0x80
+	laneMaxCnt         = 7
+	lanesPerWord       = 8
+	laneChunk          = 1024 // batch-generator scratch bound (positions)
+)
+
+// Broadcast masks for the word-parallel kernels.
+const (
+	laneLo    uint64 = 0x0101010101010101 // 1 in every lane
+	laneHi    uint64 = 0x8080808080808080 // final bit of every lane
+	laneVal8  uint64 = 0x0F0F0F0F0F0F0F0F // value field of every lane
+	laneCnt8  uint64 = 0x7070707070707070 // counter field of every lane
+	laneCnt18 uint64 = 0x1010101010101010 // counter 1 in every lane
+)
+
+// LaneBytesPerPosition is the resident analysis-time state per owned
+// position under the SWAR kernel: one byte (vs StateBytesPerPosition for
+// the scalar kernel).
+const LaneBytesPerPosition = 1
+
+// UpdateRun is a run-length-encoded batch of updates: targets Base,
+// Base+1, ..., Base+Count-1 all receive the same source value. The SWAR
+// engines move runs instead of single updates between shards; a run of
+// Count 1 is an ordinary update. Runs never span a partition group
+// boundary, so a run's targets are contiguous in the owner's local index
+// space and the receiver can apply long runs a word at a time.
+type UpdateRun struct {
+	Base  uint64
+	Count uint32
+	Value game.Value
+}
+
+// LaneEligible reports whether g can run under the SWAR kernel, and the
+// lane contract it declared.
+func LaneEligible(g game.Game) (game.LaneSpec, bool) {
+	lg, ok := g.(game.LaneGame)
+	if !ok {
+		return game.LaneSpec{}, false
+	}
+	spec, ok := lg.Lanes()
+	if !ok {
+		return spec, false
+	}
+	if g.ValueBits() > laneValueBits || spec.Neg > game.Value(laneValueMask) {
+		return spec, false
+	}
+	if spec.MaxInternal > laneMaxCnt {
+		return spec, false
+	}
+	if spec.FinalizeAt > int(spec.Neg) {
+		return spec, false
+	}
+	return spec, true
+}
+
+// resolveKernel maps a Kernel request onto the concrete kernel for g.
+func resolveKernel(g game.Game, k Kernel) (Kernel, error) {
+	switch k {
+	case KernelScalar:
+		return KernelScalar, nil
+	case KernelSWAR:
+		if _, ok := LaneEligible(g); !ok {
+			return 0, fmt.Errorf("ra: game %s is not SWAR-eligible (needs a LaneSpec with <=%d value bits and <=%d internal successors)", g.Name(), laneValueBits, laneMaxCnt)
+		}
+		return KernelSWAR, nil
+	case KernelAuto:
+		if _, ok := LaneEligible(g); ok {
+			return KernelSWAR, nil
+		}
+		return KernelScalar, nil
+	}
+	return 0, fmt.Errorf("ra: unknown kernel %v", k)
+}
+
+// laneWord reads the 8-lane word covering local byte offset off (which
+// must be word-aligned and in range).
+func (w *Worker) laneWord(off uint64) uint64 {
+	return binary.LittleEndian.Uint64(w.lane[off:])
+}
+
+// initSWAR is the SWAR-kernel initialisation phase: it walks the shard in
+// partition-group runs, pulling per-position init summaries from the
+// game's batch generator when it has one, and packs the lane bytes.
+func (w *Worker) initSWAR() (uint64, error) {
+	var finals uint64
+	var moves []game.Move
+	n := uint64(len(w.lane))
+	for l0 := uint64(0); l0 < n; {
+		k := w.span - l0%w.span
+		if k > n-l0 {
+			k = n - l0
+		}
+		if k > laneChunk {
+			k = laneChunk
+		}
+		base := w.part.Global(w.me, l0)
+		if cap(w.initStats) < int(k) {
+			w.initStats = make([]game.InitStat, k)
+		}
+		st := w.initStats[:k]
+		if w.bInit != nil {
+			w.bInit.InitRun(base, int(k), st)
+		} else {
+			for i := uint64(0); i < k; i++ {
+				moves = w.g.Moves(base+i, moves[:0])
+				s := game.InitStat{Moves: int32(len(moves)), Best: game.NoValue}
+				for _, m := range moves {
+					if m.Internal {
+						s.Internal++
+					} else if s.Best == game.NoValue || w.g.Better(m.Value, s.Best) {
+						s.Best = m.Value
+					}
+				}
+				if len(moves) == 0 {
+					s.Best = w.g.TerminalValue(base + i)
+				}
+				st[i] = s
+			}
+		}
+		for i := uint64(0); i < k; i++ {
+			s := st[i]
+			w.Stats.MovesGenerated += uint64(s.Moves)
+			if s.Internal > laneMaxCnt {
+				return finals, &game.CounterOverflowError{Game: w.g.Name(), Position: base + i, Internal: int64(s.Internal), Max: laneMaxCnt}
+			}
+			v := byte(0)
+			if s.Best != game.NoValue {
+				v = byte(s.Best)
+			}
+			lane := v | byte(s.Internal)<<laneCntShift
+			local := l0 + i
+			if s.Moves == 0 || s.Internal == 0 || (s.Best != game.NoValue && int(s.Best) == w.finAt) {
+				lane |= laneFinalBit
+				w.next = append(w.next, local)
+				finals++
+			}
+			w.lane[local] = lane
+		}
+		l0 += k
+	}
+	w.Stats.InitFinal = finals
+	return finals, nil
+}
+
+// applyLane delivers one pre-negamaxed update (mv = Neg - successor
+// value) to an owned position's lane. The hot inner step of the SWAR
+// kernel's self-delivery and single-update paths.
+func (w *Worker) applyLane(local uint64, mv byte) {
+	w.Stats.UpdatesApplied++
+	s := w.lane[local]
+	if s&laneFinalBit != 0 {
+		w.Stats.UpdatesStale++
+		return
+	}
+	if s&laneCntField == 0 {
+		panic(fmt.Sprintf("ra: worker %d position %d received more updates than successors", w.me, w.part.Global(w.me, local)))
+	}
+	v := s & laneValueMask
+	if mv > v {
+		v = mv
+	}
+	s = (s-laneCntOne)&^laneValueMask | v
+	if s&laneCntField == 0 || int(v) == w.finAt {
+		s |= laneFinalBit
+		w.next = append(w.next, local)
+		w.Stats.Finalized++
+	}
+	w.lane[local] = s
+}
+
+// ApplyRun delivers a run of same-valued updates to owned positions. Long
+// runs are applied a word (8 lanes) at a time with branchless max /
+// counter-decrement / finalize-detect; short runs and ragged edges go
+// through the per-lane path.
+func (w *Worker) ApplyRun(r UpdateRun) {
+	if w.lane == nil {
+		// Scalar worker: unroll the run into ordinary updates.
+		for i := uint32(0); i < r.Count; i++ {
+			w.Apply(Update{Target: r.Base + uint64(i), Value: r.Value})
+		}
+		return
+	}
+	if w.part.Owner(r.Base) != w.me {
+		panic(fmt.Sprintf("ra: worker %d received update run for %d owned by %d", w.me, r.Base, w.part.Owner(r.Base)))
+	}
+	mv := w.negv - byte(r.Value)
+	local := w.part.Local(r.Base)
+	count := uint64(r.Count)
+	// Ragged head up to word alignment, then full words, then the tail.
+	for ; count > 0 && local%lanesPerWord != 0; count-- {
+		w.applyLane(local, mv)
+		local++
+	}
+	for ; count >= lanesPerWord; count -= lanesPerWord {
+		w.applyWord(local, mv)
+		local += lanesPerWord
+	}
+	for ; count > 0; count-- {
+		w.applyLane(local, mv)
+		local++
+	}
+}
+
+// applyWord applies one update of pre-negamaxed value mv to each of the 8
+// lanes of the word at local (word-aligned): per-lane max with mv,
+// counter decrement, finalize on counter exhaustion or early cutoff —
+// all without branching on individual lanes.
+func (w *Worker) applyWord(local uint64, mv byte) {
+	x := binary.LittleEndian.Uint64(w.lane[local:])
+	fin := x & laneHi // final bit per lane
+	w.Stats.UpdatesApplied += lanesPerWord
+	stale := uint64(bits.OnesCount64(fin))
+	w.Stats.UpdatesStale += stale
+	if stale == lanesPerWord {
+		return
+	}
+	finMask := fin | fin>>1 | fin>>2 | fin>>3 | fin>>4 | fin>>5 | fin>>6 | fin>>7 // 0xFF per final lane
+	live := ^finMask
+	// A live lane with an exhausted counter would underflow: the same
+	// invariant violation the scalar kernel panics on.
+	// Zero-lane test (fields are < 0x80, so lanes cannot borrow into each
+	// other): (c | 0x80) - 1 keeps the high bit exactly when c != 0.
+	cnt := x & laneCnt8
+	cntZero := ^((cnt | laneHi) - laneLo) & laneHi // high bit per zero-counter lane
+	if cntZero&^fin != 0 {
+		bad := bits.TrailingZeros64(cntZero&^fin) / lanesPerWord
+		panic(fmt.Sprintf("ra: worker %d position %d received more updates than successors", w.me, w.part.Global(w.me, local+uint64(bad))))
+	}
+	// Per-lane max: lanes where the current value is below mv take mv.
+	bv := uint64(mv) * laneLo
+	ge := ((x & laneVal8) | laneHi) - bv // high bit per lane with value >= mv
+	lt := (^ge & laneHi) >> 7 * 0xFF     // 0xFF per lane with value < mv
+	lt &= live
+	x = x&^(lt&laneVal8) | bv&lt
+	// Counter decrement on live lanes only.
+	x -= laneCnt18 & live
+	// Newly final: counter hit zero, or value reached the cutoff.
+	cnt = x & laneCnt8
+	newFin := ^((cnt | laneHi) - laneLo) & laneHi & live
+	if w.finAt >= 0 {
+		fv := x&laneVal8 ^ uint64(byte(w.finAt))*laneLo
+		newFin |= ^((fv | laneHi) - laneLo) & laneHi & live // lanes with value == finAt
+	}
+	x |= newFin
+	binary.LittleEndian.PutUint64(w.lane[local:], x)
+	w.Stats.Finalized += uint64(bits.OnesCount64(newFin))
+	for m := newFin; m != 0; m &= m - 1 {
+		w.next = append(w.next, local+uint64(bits.TrailingZeros64(m)/lanesPerWord))
+	}
+}
+
+// swarRunMax bounds how many queue positions one batched predecessor call
+// covers (and with it the per-run scratch).
+const swarRunMax = laneChunk
+
+// ExpandRuns is the SWAR counterpart of ExpandLocal: it pops up to limit
+// finalized positions from the wave queue, generates their predecessors
+// run-batched through the game's batch expander, applies self-owned
+// updates inline through the lane kernel, and emits remote edges as
+// owner-grouped, run-coalesced UpdateRuns. limit <= 0 expands the whole
+// queue; the return value is the number of positions expanded. emit may
+// be nil when the worker owns the whole space.
+func (w *Worker) ExpandRuns(limit int, emit func(owner int, r UpdateRun)) int {
+	if w.lane == nil {
+		panic("ra: ExpandRuns needs a SWAR worker")
+	}
+	if limit <= 0 || limit > len(w.queue) {
+		limit = len(w.queue)
+	}
+	single := w.part.Workers() == 1
+	for done := 0; done < limit; {
+		// One maximal run: consecutive locals within one contiguity span
+		// (the queue is sorted at BeginWave), so the globals are
+		// consecutive too and the batch generator decodes incrementally.
+		start := done
+		l0 := w.queue[start]
+		k := 1
+		for done+k < limit && k < swarRunMax &&
+			w.queue[start+k] == l0+uint64(k) && (l0+uint64(k))%w.span != 0 {
+			k++
+		}
+		done += k
+		base := w.part.Global(w.me, l0)
+		if w.bExp != nil {
+			w.bExp.PredecessorsRun(base, k, func(i int, preds []uint64) {
+				w.deliverPreds(l0+uint64(i), preds, single)
+			})
+		} else {
+			for i := 0; i < k; i++ {
+				w.preds = w.g.Predecessors(base+uint64(i), w.preds[:0])
+				if len(w.preds) > 0 {
+					w.deliverPreds(l0+uint64(i), w.preds, single)
+				}
+			}
+		}
+		if !single {
+			w.flushRemoteRuns(emit)
+		}
+	}
+	w.queue = w.queue[limit:]
+	w.Stats.Expanded += uint64(limit)
+	return limit
+}
+
+// deliverPreds routes one expanded position's predecessor edges: self-
+// owned targets go through the lane kernel immediately, remote targets
+// are gathered for owner-grouped, run-coalesced emission.
+func (w *Worker) deliverPreds(local uint64, preds []uint64, single bool) {
+	w.Stats.PredsGenerated += uint64(len(preds))
+	mv := w.negv - w.lane[local]&laneValueMask
+	if single {
+		for _, q := range preds {
+			w.applyLane(q, mv)
+		}
+		return
+	}
+	v := game.Value(w.negv - mv)
+	for _, q := range preds {
+		o := w.part.Owner(q)
+		if o == w.me {
+			w.applyLane(w.part.Local(q), mv)
+			continue
+		}
+		w.runs = append(w.runs, Update{Target: q, Value: v})
+		w.runOwner = append(w.runOwner, int32(o))
+		w.ownerCnt[o]++
+	}
+}
+
+// flushRemoteRuns owner-groups the gathered remote edges (stable counting
+// sort, as in the scalar path) and emits them coalesced: consecutive
+// targets with equal values merge into one UpdateRun.
+func (w *Worker) flushRemoteRuns(emit func(owner int, r UpdateRun)) {
+	if len(w.runs) == 0 {
+		return
+	}
+	if cap(w.runSort) < len(w.runs) {
+		w.runSort = make([]Update, len(w.runs))
+	}
+	sorted := w.runSort[:len(w.runs)]
+	off := int32(0)
+	for o, c := range w.ownerCnt {
+		w.ownerOff[o] = off
+		off += c
+	}
+	for i, u := range w.runs {
+		o := w.runOwner[i]
+		sorted[w.ownerOff[o]] = u
+		w.ownerOff[o]++
+	}
+	start := int32(0)
+	for o, c := range w.ownerCnt {
+		if c == 0 {
+			continue
+		}
+		run := UpdateRun{Base: sorted[start].Target, Count: 1, Value: sorted[start].Value}
+		for _, u := range sorted[start+1 : start+c] {
+			if u.Target == run.Base+uint64(run.Count) && u.Value == run.Value {
+				run.Count++
+				continue
+			}
+			emit(o, run)
+			run = UpdateRun{Base: u.Target, Count: 1, Value: u.Value}
+		}
+		emit(o, run)
+		start += c
+		w.ownerCnt[o] = 0
+	}
+	w.runs = w.runs[:0]
+	w.runOwner = w.runOwner[:0]
+}
+
+// resolveLoopsSWAR is the SWAR loop-resolution pass: whole words of final
+// lanes are skipped; runs containing undetermined lanes pull their loop
+// values from the game's batch generator in one call.
+func (w *Worker) resolveLoopsSWAR() uint64 {
+	var resolved uint64
+	n := uint64(len(w.lane))
+	for l0 := uint64(0); l0 < n; {
+		k := w.span - l0%w.span
+		if k > n-l0 {
+			k = n - l0
+		}
+		if k > laneChunk {
+			k = laneChunk
+		}
+		// Fast scan: does the run contain any non-final lane?
+		any := false
+		i := uint64(0)
+		for ; i+lanesPerWord <= k; i += lanesPerWord {
+			if w.laneWord(l0+i)&laneHi != laneHi {
+				any = true
+				break
+			}
+		}
+		if !any {
+			for ; i < k; i++ {
+				if w.lane[l0+i]&laneFinalBit == 0 {
+					any = true
+					break
+				}
+			}
+		}
+		if !any {
+			l0 += k
+			continue
+		}
+		base := w.part.Global(w.me, l0)
+		if cap(w.loopVals) < int(k) {
+			w.loopVals = make([]game.Value, k)
+		}
+		lv := w.loopVals[:k]
+		if w.bLoop != nil {
+			w.bLoop.LoopValuesRun(base, int(k), lv)
+		} else {
+			for i := uint64(0); i < k; i++ {
+				lv[i] = w.g.LoopValue(base + i)
+			}
+		}
+		for i := uint64(0); i < k; i++ {
+			s := w.lane[l0+i]
+			if s&laneFinalBit != 0 {
+				continue
+			}
+			v := s & laneValueMask
+			if b := byte(lv[i]); b > v {
+				v = b
+			}
+			w.lane[l0+i] = s&^laneValueMask | v | laneFinalBit
+			w.loopy = append(w.loopy, l0+i)
+			resolved++
+		}
+		l0 += k
+	}
+	w.next = w.next[:0]
+	w.Stats.LoopResolved = resolved
+	return resolved
+}
+
+// sortQueue orders the wave queue by local index so ExpandRuns sees
+// maximal consecutive runs. Values and wave membership are order-
+// independent, so sorting keeps results bit-identical to the scalar
+// kernel's unsorted processing.
+func (w *Worker) sortQueue() {
+	slices.Sort(w.queue)
+}

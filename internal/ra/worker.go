@@ -39,10 +39,16 @@ const (
 )
 
 // MaxSuccessors is the largest number of internal successors a single
-// position may have under the packed state layout (15-bit counter).
-// Worker.Init panics beyond it; every game in this repository has a
-// branching factor orders of magnitude below.
+// position may have under the packed scalar state layout (15-bit
+// counter). Worker.Init returns a *game.CounterOverflowError beyond it
+// instead of letting the counter wrap; every game in this repository has
+// a branching factor orders of magnitude below.
 const MaxSuccessors = int32(stateCountMask)
+
+// The packed-counter width is a cross-package contract: game.Validate
+// rejects games that overflow it without importing this package. This
+// compiles only while the two constants agree.
+var _ [1]struct{} = [game.MaxPackedSuccessors - MaxSuccessors + 1]struct{}{}
 
 // StateBytesPerPosition is the resident analysis-time state per owned
 // position in the in-core engines: one packed uint32.
@@ -97,9 +103,24 @@ type Worker struct {
 	part *Partition
 	me   int
 
-	// state packs value, successor counter and final flag per owned
-	// position (see packState); Apply touches exactly one word.
+	// Scalar kernel: state packs value, successor counter and final flag
+	// per owned position (see packState); Apply touches exactly one word.
+	// nil under the SWAR kernel.
 	state []uint32
+
+	// SWAR kernel: one lane byte per owned position (see swar.go); nil
+	// under the scalar kernel.
+	lane  []byte
+	spec  game.LaneSpec
+	negv  byte   // lane negamax constant (spec.Neg)
+	finAt int    // lane value that finalizes early, -1 for none
+	span  uint64 // longest globally-contiguous local run (see NewWorkerKernel)
+
+	// Batch generators of the game, when it provides them (SWAR kernel
+	// only; the scalar kernel always uses the per-position methods).
+	bInit game.BatchIniter
+	bExp  game.BatchExpander
+	bLoop game.BatchLooper
 
 	queue []uint64 // local indices finalized in the previous wave, to expand
 	next  []uint64 // local indices finalized in the current wave
@@ -107,54 +128,104 @@ type Worker struct {
 
 	// Expansion scratch, reused across Expand calls so steady-state waves
 	// allocate nothing.
-	preds    []uint64 // predecessor buffer for one position
-	runs     []Update // remote updates gathered for one grouping chunk
-	runOwner []int32  // owner of each entry in runs
-	runSort  []Update // counting-sort output (owner-grouped)
-	ownerCnt []int32  // per-owner update count within a chunk
-	ownerOff []int32  // per-owner placement cursor within a chunk
+	preds     []uint64        // predecessor buffer for one position
+	runs      []Update        // remote updates gathered for one grouping chunk
+	runOwner  []int32         // owner of each entry in runs
+	runSort   []Update        // counting-sort output (owner-grouped)
+	ownerCnt  []int32         // per-owner update count within a chunk
+	ownerOff  []int32         // per-owner placement cursor within a chunk
+	initStats []game.InitStat // SWAR init-run scratch
+	loopVals  []game.Value    // SWAR loop-run scratch
 
 	Stats WorkerStats
 }
 
-// NewWorker creates the shard state for worker me of the partition.
+// NewWorker creates the shard state for worker me of the partition under
+// the scalar kernel — the configuration every wire-level engine
+// (distributed, simulated, remote) uses.
 func NewWorker(g game.Game, part *Partition, me int) *Worker {
+	w, err := NewWorkerKernel(g, part, me, KernelScalar)
+	if err != nil {
+		panic(err) // KernelScalar construction cannot fail
+	}
+	return w
+}
+
+// NewWorkerKernel creates the shard state for worker me under the given
+// kernel. KernelAuto resolves to SWAR for eligible games; KernelSWAR
+// returns an error for ineligible ones.
+func NewWorkerKernel(g game.Game, part *Partition, me int, k Kernel) (*Worker, error) {
 	if me < 0 || me >= part.Workers() {
 		panic(fmt.Sprintf("ra: worker %d out of range [0, %d)", me, part.Workers()))
 	}
 	if part.Size() != g.Size() {
 		panic(fmt.Sprintf("ra: partition size %d != game size %d", part.Size(), g.Size()))
 	}
+	k, err := resolveKernel(g, k)
+	if err != nil {
+		return nil, err
+	}
 	n := part.ShardSize(me)
 	w := &Worker{
 		g:     g,
 		part:  part,
 		me:    me,
-		state: make([]uint32, n),
+		finAt: -1,
 	}
 	w.Stats.Positions = n
 	if p := part.Workers(); p > 1 {
 		w.ownerCnt = make([]int32, p)
 		w.ownerOff = make([]int32, p)
 	}
+	if k == KernelSWAR {
+		w.spec, _ = LaneEligible(g)
+		w.negv = byte(w.spec.Neg)
+		w.finAt = w.spec.FinalizeAt
+		w.lane = make([]byte, n)
+		// Consecutive locals map to consecutive globals within a partition
+		// group — or across the whole shard when this worker owns the
+		// entire space. The batch generators amortise decoding over such
+		// runs, so the span bounds how much they can amortise.
+		w.span = part.Group()
+		if part.Workers() == 1 {
+			w.span = max(n, 1)
+		}
+		w.bInit, _ = g.(game.BatchIniter)
+		w.bExp, _ = g.(game.BatchExpander)
+		w.bLoop, _ = g.(game.BatchLooper)
+		return w, nil
+	}
+	w.state = make([]uint32, n)
 	for i := range w.state {
 		w.state[i] = uint32(game.NoValue)
 	}
-	return w
+	return w, nil
+}
+
+// Kernel reports which wave kernel the worker runs.
+func (w *Worker) Kernel() Kernel {
+	if w.lane != nil {
+		return KernelSWAR
+	}
+	return KernelScalar
 }
 
 // ID returns the worker's shard number.
 func (w *Worker) ID() int { return w.me }
 
 // ShardSize returns the number of positions the worker owns.
-func (w *Worker) ShardSize() uint64 { return uint64(len(w.state)) }
+func (w *Worker) ShardSize() uint64 { return w.Stats.Positions }
 
 // Init runs the initialisation phase over the shard: it enumerates every
 // owned position's moves, records the outstanding-successor counters,
 // resolves positions that are terminal or whose resolved moves already
 // finalize them, and queues those for expansion. It returns the number of
-// positions finalized.
-func (w *Worker) Init() uint64 {
+// positions finalized, and a *game.CounterOverflowError if any position's
+// internal branching exceeds the packed counter width.
+func (w *Worker) Init() (uint64, error) {
+	if w.lane != nil {
+		return w.initSWAR()
+	}
 	var moves []game.Move
 	var finals uint64
 	for local := uint64(0); local < uint64(len(w.state)); local++ {
@@ -177,7 +248,7 @@ func (w *Worker) Init() uint64 {
 			}
 		}
 		if internal > MaxSuccessors {
-			panic(fmt.Sprintf("ra: position %d has %d internal successors, packed state supports at most %d", global, internal, MaxSuccessors))
+			return finals, &game.CounterOverflowError{Game: w.g.Name(), Position: global, Internal: int64(internal), Max: int64(MaxSuccessors)}
 		}
 		w.state[local] = packState(best, internal, false)
 		if internal == 0 || (best != game.NoValue && w.g.Finalizes(best)) {
@@ -186,7 +257,19 @@ func (w *Worker) Init() uint64 {
 		}
 	}
 	w.Stats.InitFinal = finals
-	return finals
+	return finals, nil
+}
+
+// mustInit is Init for the engines that run initialisation inside
+// simulation or protocol callbacks with no error path of their own. A
+// counter overflow there is a game-construction bug (game.Validate and
+// the in-core engines report it as an error), so it escalates.
+func mustInit(w *Worker) uint64 {
+	n, err := w.Init()
+	if err != nil {
+		panic(err)
+	}
+	return n
 }
 
 func (w *Worker) finalize(local uint64) {
@@ -200,8 +283,14 @@ func (w *Worker) Pending() int { return len(w.next) + len(w.queue) }
 
 // BeginWave promotes the positions finalized during the previous wave to
 // the expansion queue of the new wave and returns how many there are.
+// Under the SWAR kernel the queue is sorted by local index so expansion
+// sees maximal consecutive runs; values are order-independent, so this
+// does not change results.
 func (w *Worker) BeginWave() int {
 	w.queue, w.next = w.next, w.queue[:0]
+	if w.lane != nil {
+		w.sortQueue()
+	}
 	return len(w.queue)
 }
 
@@ -270,7 +359,7 @@ func (w *Worker) expand(limit int, apply func(Update), emit func(owner int, u Up
 func (w *Worker) expandSingle(queue []uint64, apply func(Update), emit func(owner int, u Update)) {
 	for _, local := range queue {
 		global := w.part.Global(w.me, local)
-		v := stateValue(w.state[local])
+		v := w.valueAt(local)
 		w.preds = w.g.Predecessors(global, w.preds[:0])
 		w.Stats.PredsGenerated += uint64(len(w.preds))
 		for _, q := range w.preds {
@@ -293,7 +382,7 @@ func (w *Worker) expandChunkGrouped(queue []uint64, apply func(Update), emit fun
 	w.runOwner = w.runOwner[:0]
 	for _, local := range queue {
 		global := w.part.Global(w.me, local)
-		v := stateValue(w.state[local])
+		v := w.valueAt(local)
 		w.preds = w.g.Predecessors(global, w.preds[:0])
 		w.Stats.PredsGenerated += uint64(len(w.preds))
 		for _, q := range w.preds {
@@ -347,6 +436,11 @@ func (w *Worker) Apply(u Update) {
 		panic(fmt.Sprintf("ra: worker %d received update for %d owned by %d", w.me, u.Target, w.part.Owner(u.Target)))
 	}
 	local := w.part.Local(u.Target)
+	if w.lane != nil {
+		// MoverValue(v) == Neg - v under the lane contract.
+		w.applyLane(local, w.negv-byte(u.Value))
+		return
+	}
 	w.Stats.UpdatesApplied++
 	s := w.state[local]
 	if s&stateFinalBit != 0 {
@@ -371,6 +465,9 @@ func (w *Worker) Apply(u Update) {
 // (eternal-play score). Called once, after global propagation quiesces.
 // It returns the number of positions resolved.
 func (w *Worker) ResolveLoops() uint64 {
+	if w.lane != nil {
+		return w.resolveLoopsSWAR()
+	}
 	var resolved uint64
 	for local, s := range w.state {
 		if s&stateFinalBit != 0 {
@@ -390,20 +487,51 @@ func (w *Worker) ResolveLoops() uint64 {
 	return resolved
 }
 
+// valueAt returns the current value of a local position under either
+// kernel. Under the SWAR kernel "no value yet" reads as 0, which the
+// lane contract makes order-equivalent to NoValue.
+func (w *Worker) valueAt(local uint64) game.Value {
+	if w.lane != nil {
+		return game.Value(w.lane[local] & laneValueMask)
+	}
+	return stateValue(w.state[local])
+}
+
+// counterAt returns the outstanding-successor counter of a local position.
+func (w *Worker) counterAt(local uint64) int32 {
+	if w.lane != nil {
+		return int32(w.lane[local] & laneCntField >> laneCntShift)
+	}
+	return stateCounter(w.state[local])
+}
+
+// finalAt reports whether a local position is final.
+func (w *Worker) finalAt(local uint64) bool {
+	if w.lane != nil {
+		return w.lane[local]&laneFinalBit != 0
+	}
+	return stateFinal(w.state[local])
+}
+
 // Value returns the final value of an owned position by global index.
 // It panics if analysis has not finished (position not final).
 func (w *Worker) Value(global uint64) game.Value {
 	local := w.part.Local(global)
-	s := w.state[local]
-	if s&stateFinalBit == 0 {
+	if !w.finalAt(local) {
 		panic(fmt.Sprintf("ra: position %d not final", global))
 	}
-	return stateValue(s)
+	return w.valueAt(local)
 }
 
 // Fill copies the shard's values into the full-space destination slice,
 // which must have length Size of the game.
 func (w *Worker) Fill(dst []game.Value) {
+	if w.lane != nil {
+		for local, s := range w.lane {
+			dst[w.part.Global(w.me, uint64(local))] = game.Value(s & laneValueMask)
+		}
+		return
+	}
 	for local, s := range w.state {
 		dst[w.part.Global(w.me, uint64(local))] = stateValue(s)
 	}
@@ -422,6 +550,9 @@ func (w *Worker) FillLoop(dst []uint64) {
 // analysis: the packed state array plus current queues. This is the
 // quantity the paper's ">600 MByte on a uniprocessor" claim is about.
 func (w *Worker) WorkingSetBytes() uint64 {
-	n := uint64(len(w.state))
-	return n*StateBytesPerPosition + uint64(cap(w.queue)+cap(w.next))*8
+	state := uint64(len(w.state)) * StateBytesPerPosition
+	if w.lane != nil {
+		state = uint64(len(w.lane)) * LaneBytesPerPosition
+	}
+	return state + uint64(cap(w.queue)+cap(w.next))*8
 }

@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"errors"
 	"testing"
 
 	"retrograde/internal/game"
@@ -38,7 +39,10 @@ func TestWorkerInitCounts(t *testing.T) {
 	g := nim.MustNew(2, 3) // 16 positions; only (0,0) is terminal
 	part := Cyclic(g.Size(), 1)
 	w := NewWorker(g, part, 0)
-	finals := w.Init()
+	finals, err := w.Init()
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
 	if finals == 0 {
 		t.Fatal("no positions finalized at init")
 	}
@@ -198,12 +202,14 @@ func (hugeBranch) ValueBits() int                     { return 16 }
 func TestInitRejectsCounterOverflow(t *testing.T) {
 	g := hugeBranch{n: int(MaxSuccessors) + 1}
 	w := NewWorker(g, Cyclic(g.Size(), 1), 0)
-	defer func() {
-		if recover() == nil {
-			t.Error("Init with > MaxSuccessors internal moves did not panic")
-		}
-	}()
-	w.Init()
+	_, err := w.Init()
+	var ce *game.CounterOverflowError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Init with > MaxSuccessors internal moves: err = %v, want CounterOverflowError", err)
+	}
+	if ce.Position != 1 || ce.Internal != int64(MaxSuccessors)+1 || ce.Max != int64(MaxSuccessors) {
+		t.Errorf("CounterOverflowError = %+v", ce)
+	}
 }
 
 // TestExpandOwnerGroupedRuns checks the grouped-emission contract: within

@@ -408,7 +408,9 @@ func (n *node) run() error {
 	// Initialisation, then act as if a wave-startWave phase completed
 	// (wave 0 on a fresh start, the checkpointed wave on resume).
 	if !n.resumed {
-		n.w.Init()
+		if _, err := n.w.Init(); err != nil {
+			return err
+		}
 	}
 	n.phaseNow = 0
 	n.sendDone(n.startWave, 0)

@@ -137,8 +137,13 @@ func Count(n uint64) string {
 type Table struct {
 	Title   string
 	Columns []string
-	rows    [][]string
-	notes   []string
+	// Kernel records which in-core wave kernel produced the numbers
+	// ("scalar", "swar", or "scalar+swar" for comparison tables). It is
+	// carried into the JSON output so BENCH_*.json files remain
+	// comparable across revisions that change the kernel default.
+	Kernel string
+	rows   [][]string
+	notes  []string
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -236,6 +241,7 @@ func (t *Table) RenderCSV(w io.Writer) error {
 type tableJSON struct {
 	ID      string     `json:"id,omitempty"`
 	Title   string     `json:"title"`
+	Kernel  string     `json:"kernel,omitempty"`
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
 	Notes   []string   `json:"notes,omitempty"`
@@ -257,6 +263,7 @@ func WriteJSON(w io.Writer, tables []NamedTable) error {
 		out[i] = tableJSON{
 			ID:      nt.ID,
 			Title:   nt.Table.Title,
+			Kernel:  nt.Table.Kernel,
 			Columns: nt.Table.Columns,
 			Rows:    nt.Table.rows,
 			Notes:   nt.Table.notes,
