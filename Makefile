@@ -1,0 +1,38 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test race vet ravet fuzz-smoke fmt check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# ravet is the project-specific analyzer suite (cmd/ravet): wire
+# deadlines, pool discipline, error wrapping, SWAR/scalar lane-constant
+# parity, determinism, goroutine tracking. It runs standalone here; CI
+# also exercises the `go vet -vettool` integration path.
+ravet:
+	$(GO) run ./cmd/ravet ./...
+
+# Ten seconds per fuzz target — the CI smoke budget, not a soak.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzApplyWord -fuzztime=10s ./internal/ra/
+	$(GO) test -fuzz=FuzzZdbRoundtrip -fuzztime=10s ./internal/zdb/
+	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/server/
+
+fmt:
+	gofmt -l -w .
+
+check: build vet ravet test

@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"retrograde/internal/analysis"
 	"retrograde/internal/awari"
 	"retrograde/internal/db"
 	"retrograde/internal/game"
@@ -89,7 +90,12 @@ func run() error {
 			return err
 		}
 		defer f.Close()
-		if err := stats.WriteJSON(f, []stats.NamedTable{{ID: "rastats", Table: t}}); err != nil {
+		prov := stats.Provenance{
+			Tool:       "rastats",
+			RavetSuite: analysis.Version,
+			Analyzers:  len(analysis.Suite()),
+		}
+		if err := stats.WriteJSON(f, prov, []stats.NamedTable{{ID: "rastats", Table: t}}); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,122 @@
+// Command ravet runs the project's static-analysis suite: six analyzers
+// enforcing the wire, kernel and concurrency invariants the distributed
+// solver depends on (see internal/analysis).
+//
+// Standalone:
+//
+//	go run ./cmd/ravet ./...         # analyze packages, exit 1 on findings
+//	go run ./cmd/ravet -v ./...      # also list suppressed findings
+//
+// As a vet tool (unit-checker protocol):
+//
+//	go build -o bin/ravet ./cmd/ravet
+//	go vet -vettool=bin/ravet ./...
+//
+// Findings are suppressed only by an inline directive on (or directly
+// above) the offending line:
+//
+//	//ravet:ignore <analyzer> <reason>
+//
+// The summary line counts suppressions per analyzer; a directive naming
+// an unknown analyzer, or carrying no reason, fails the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"retrograde/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Unit-checker protocol entry points, used by `go vet -vettool`.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Printf("ravet version %s\n", analysis.Version)
+			return 0
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runUnit(args[0])
+		}
+	}
+
+	fs := flag.NewFlagSet("ravet", flag.ContinueOnError)
+	verbose := fs.Bool("v", false, "also list suppressed findings with their reasons")
+	version := fs.Bool("version", false, "print the suite version and analyzer list")
+	dir := fs.String("C", ".", "change to this directory before loading packages")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := analysis.Suite()
+	if *version {
+		fmt.Printf("%s (%d analyzers)\n", analysis.Version, len(suite))
+		for _, a := range suite {
+			fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ravet: %v\n", err)
+		return 2
+	}
+	res, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ravet: %v\n", err)
+		return 2
+	}
+
+	bad := 0
+	for _, f := range res.Findings {
+		if f.Suppressed {
+			if *verbose {
+				fmt.Printf("%s: [%s] suppressed (%s): %s\n", f.Pos, f.Analyzer, f.Reason, f.Message)
+			}
+			continue
+		}
+		bad++
+		fmt.Printf("%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	for _, f := range res.DirectiveErrors {
+		bad++
+		fmt.Printf("%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+
+	sup := res.SuppressedCount()
+	total := 0
+	var parts []string
+	names := make([]string, 0, len(sup))
+	for n := range sup {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		total += sup[n]
+		parts = append(parts, fmt.Sprintf("%s %d", n, sup[n]))
+	}
+	supStr := "0 suppressed"
+	if total > 0 {
+		supStr = fmt.Sprintf("%d suppressed (%s)", total, strings.Join(parts, ", "))
+	}
+	fmt.Printf("ravet %s: %d analyzers over %d packages: %d findings, %s\n",
+		analysis.Version, len(suite), res.Packages, bad, supStr)
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}

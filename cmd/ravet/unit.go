@@ -1,0 +1,131 @@
+package main
+
+// The unit-checker half of the driver: `go vet -vettool=ravet` invokes
+// the tool once per package with a JSON config file describing the unit —
+// source files, the import map, and export-data files for dependencies.
+// This mirrors the x/tools unitchecker protocol using only the standard
+// library: dependencies are imported from the compiler's export data
+// rather than re-type-checked from source.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"retrograde/internal/analysis"
+)
+
+// unitConfig is the subset of the go vet config file ravet needs.
+type unitConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ravet: %v\n", err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ravet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts file regardless of outcome.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "ravet: %v\n", err)
+			return 1
+		}
+	}
+	// A VetxOnly unit is a dependency the go command wants facts for, not
+	// a package named on the vet command line; ravet keeps no facts, so
+	// there is nothing to do.
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Generated p.test mains and external _test packages contain no
+	// production code at all. The in-package test variant "p [p.test]"
+	// does — when a package has tests, the go command analyzes only that
+	// augmented unit (the plain one is VetxOnly) — so it is analyzed in
+	// full and findings inside _test.go files are dropped afterwards:
+	// tests legitimately use deadline-free pipes, naked goroutines and
+	// map-order loops.
+	if strings.HasSuffix(cfg.ID, ".test") || strings.HasSuffix(cfg.ImportPath, "_test") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "ravet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	pkg, err := analysis.TypeCheckFiles(fset, imp, cfg.ImportPath, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ravet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	res, err := analysis.Run([]*analysis.Package{pkg}, analysis.Suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ravet: %v\n", err)
+		return 1
+	}
+	bad := 0
+	for _, f := range res.Findings {
+		if f.Suppressed || strings.HasSuffix(f.Pos.Filename, "_test.go") {
+			continue
+		}
+		bad++
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	for _, f := range res.DirectiveErrors {
+		if strings.HasSuffix(f.Pos.Filename, "_test.go") {
+			continue
+		}
+		bad++
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if bad > 0 {
+		return 2 // the go command's "diagnostics reported" exit status
+	}
+	return 0
+}

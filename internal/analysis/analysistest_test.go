@@ -1,0 +1,189 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"retrograde/internal/analysis"
+)
+
+// loadFiles parses and type-checks a set of sources (name -> content, or
+// name -> "" to read testdata) into a Package with the given import path.
+// The path matters: scoped analyzers only run on packages whose path ends
+// with one of their declared suffixes.
+func loadDir(t *testing.T, path, dir string) *analysis.Package {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no sources under %s: %v", dir, err)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := analysis.TypeCheckFiles(fset, importer.ForCompiler(fset, "source", nil), path, files)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", dir, err)
+	}
+	return pkg
+}
+
+func loadSrc(t *testing.T, path string, sources map[string]string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	var names []string
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, sources[name], parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := analysis.TypeCheckFiles(fset, importer.ForCompiler(fset, "source", nil), path, files)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return pkg
+}
+
+// expectation is one "// want `regexp`" comment: a diagnostic the named
+// analyzer must report on that line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.+)$`)
+
+func parseExpectations(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				lit, err := strconv.Unquote(strings.TrimSpace(m[1]))
+				if err != nil {
+					t.Fatalf("bad want comment %q: %v", c.Text, err)
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", lit, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden runs one analyzer over testdata/<analyzer.Name> under the
+// given package path and checks its findings against the // want
+// comments: every finding must be expected, every expectation met.
+func runGolden(t *testing.T, a *analysis.Analyzer, path string) {
+	t.Helper()
+	pkg := loadDir(t, path, filepath.Join("testdata", a.Name))
+	wants := parseExpectations(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("testdata/%s has no // want expectations; the golden test would pass vacuously", a.Name)
+	}
+	res, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range res.DirectiveErrors {
+		t.Errorf("unexpected directive error: %s: %s", f.Pos, f.Message)
+	}
+	for _, f := range res.Unsuppressed() {
+		ok := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.pattern.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func TestConnDeadlineGolden(t *testing.T) {
+	runGolden(t, analysis.ConnDeadline, "internal/remote")
+}
+
+func TestPoolReturnGolden(t *testing.T) {
+	runGolden(t, analysis.PoolReturn, "internal/ra")
+}
+
+func TestTypedErrGolden(t *testing.T) {
+	runGolden(t, analysis.TypedErr, "internal/remote")
+}
+
+func TestLaneConstGolden(t *testing.T) {
+	runGolden(t, analysis.LaneConst, "internal/ra")
+}
+
+func TestDetRandGolden(t *testing.T) {
+	runGolden(t, analysis.DetRand, "internal/ra")
+}
+
+func TestNakedGoGolden(t *testing.T) {
+	runGolden(t, analysis.NakedGo, "internal/server")
+}
+
+// The suite must contain at least the six invariants the roadmap names,
+// each with documentation; Version gates the provenance block rabench
+// emits, so a suite change must change it deliberately.
+func TestSuiteShape(t *testing.T) {
+	suite := analysis.Suite()
+	if len(suite) < 6 {
+		t.Fatalf("suite has %d analyzers, want >= 6", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"conndeadline", "poolreturn", "typederr", "laneconst", "detrand", "nakedgo"} {
+		if !seen[name] {
+			t.Errorf("suite is missing analyzer %q", name)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"retrograde/internal/analysis"
+)
+
+// TestRavetCleanOnTree is the self-gate: the whole repository must carry
+// zero unsuppressed findings and zero directive errors, so a regression
+// against any enforced invariant fails `go test ./...` as well as the
+// dedicated CI step. Suppressions are allowed (they carry audited
+// reasons) and are logged for visibility.
+func TestRavetCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree analysis is not short")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res, err := analysis.Run(pkgs, analysis.Suite())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range res.Unsuppressed() {
+		t.Errorf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+	}
+	for _, f := range res.DirectiveErrors {
+		t.Errorf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+	}
+	t.Logf("ravet %s: %d packages, %d findings total, suppressed per analyzer: %v",
+		analysis.Version, res.Packages, len(res.Findings), res.SuppressedCount())
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// ConnDeadline flags direct net.Conn reads and writes in the wire
+// packages that are not preceded, within the same function, by a matching
+// SetReadDeadline/SetWriteDeadline (or SetDeadline) on the same conn.
+//
+// This is the E12 wedge-detection invariant: a peer that stops draining
+// or feeding a socket must trip a timeout, never block a goroutine
+// forever (several of which hold locks or are waited on during shutdown).
+// The check is intra-procedural and positional — a deadline armed under a
+// conditional earlier in the function counts — which matches how every
+// compliant call site in this codebase is written: arm, then touch the
+// socket. Reads and writes through wrappers (bufio) are attributed to the
+// function only where the conn itself is touched.
+var ConnDeadline = &Analyzer{
+	Name:     "conndeadline",
+	Doc:      "net.Conn Read/Write must be dominated by a deadline on the same conn",
+	Packages: []string{"internal/remote", "internal/server", "internal/broker"},
+	Run:      runConnDeadline,
+}
+
+const (
+	dlRead = 1 << iota
+	dlWrite
+)
+
+func runConnDeadline(pass *Pass) error {
+	for _, file := range pass.Files {
+		enclosingFuncs(file, func(body *ast.BlockStmt) {
+			connDeadlineFunc(pass, body)
+		})
+	}
+	return nil
+}
+
+type armEvent struct {
+	pos  token.Pos
+	kind int
+}
+
+func connDeadlineFunc(pass *Pass, body *ast.BlockStmt) {
+	type ioUse struct {
+		pos  token.Pos
+		key  string
+		kind int
+		verb string
+	}
+	var uses []ioUse
+	armedAt := map[string][]armEvent{}
+
+	// Preorder traversal visits calls in source order within a function
+	// body, so position comparison below is the domination approximation.
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// io helpers that read from a conn passed as an argument.
+		for _, h := range [...]struct {
+			fn   string
+			arg  int
+			kind int
+		}{{"ReadFull", 0, dlRead}, {"ReadAtLeast", 0, dlRead}, {"Copy", 1, dlRead}} {
+			if isPkgFunc(pass.Info, call, "io", h.fn) && len(call.Args) > h.arg {
+				arg := ast.Unparen(call.Args[h.arg])
+				if t := pass.Info.Types[arg].Type; t != nil && isConnLike(t) {
+					uses = append(uses, ioUse{call.Pos(), exprKey(arg), h.kind, "io." + h.fn})
+				}
+			}
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := ast.Unparen(sel.X)
+		t := pass.Info.Types[recv].Type
+		if t == nil || !isConnLike(t) {
+			return true
+		}
+		key := exprKey(recv)
+		switch sel.Sel.Name {
+		case "SetReadDeadline":
+			armedAt[key] = append(armedAt[key], armEvent{call.Pos(), dlRead})
+		case "SetWriteDeadline":
+			armedAt[key] = append(armedAt[key], armEvent{call.Pos(), dlWrite})
+		case "SetDeadline":
+			armedAt[key] = append(armedAt[key], armEvent{call.Pos(), dlRead | dlWrite})
+		case "Read":
+			uses = append(uses, ioUse{call.Pos(), key, dlRead, "Read"})
+		case "Write":
+			uses = append(uses, ioUse{call.Pos(), key, dlWrite, "Write"})
+		}
+		return true
+	})
+
+	for _, u := range uses {
+		ok := false
+		for _, a := range armedAt[u.key] {
+			if a.pos < u.pos && a.kind&u.kind != 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			want := "SetWriteDeadline"
+			if u.kind == dlRead {
+				want = "SetReadDeadline"
+			}
+			pass.Report(u.pos, fmt.Sprintf("%s on %s without a preceding %s on the same conn in this function (wedge-detection invariant)", u.verb, u.key, want))
+		}
+	}
+}

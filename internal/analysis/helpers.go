@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exprKey renders an expression as a stable textual key ("c", "w.conn",
+// "m.batch") for the flow-insensitive object tracking the analyzers use.
+func exprKey(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// funcIndex maps the package's declared functions and methods to their
+// bodies, so analyzers can peek into same-package callees.
+func funcIndex(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	idx := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				idx[obj] = fd
+			}
+		}
+	}
+	return idx
+}
+
+// hasMethod reports whether t's method set (value or pointer) contains a
+// method with the given name.
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	if ms.Lookup(nil, name) != nil {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		if types.NewMethodSet(types.NewPointer(t)).Lookup(nil, name) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isConnLike reports whether t looks like a net.Conn: it carries both
+// deadline setters, RemoteAddr, plus Read or Write. Structural rather
+// than nominal so wrapped conns (faultnet, BufConn) and the net.Conn
+// interface itself all qualify without importing net; RemoteAddr keeps
+// *os.File (which also has deadline setters) out.
+func isConnLike(t types.Type) bool {
+	return hasMethod(t, "SetReadDeadline") && hasMethod(t, "SetWriteDeadline") &&
+		hasMethod(t, "RemoteAddr") &&
+		(hasMethod(t, "Read") || hasMethod(t, "Write"))
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if basic, ok := t.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// nil when the callee is not a known function or method.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the call invokes the package-level function
+// pkgPath.name (not a method).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// enclosingFuncs yields every function body in the file — declarations
+// and literals — each visited exactly once as an independent scope.
+func enclosingFuncs(file *ast.File, visit func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Body)
+			}
+		case *ast.FuncLit:
+			visit(fn.Body)
+		}
+		return true
+	})
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals, so per-function analyses keep closures as separate scopes.
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(n)
+	})
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //ravet:ignore comment.
+type ignoreDirective struct {
+	pos      token.Pos
+	analyzer string
+	reason   string
+	// lines are the file lines the directive covers: its own line when it
+	// trails code, the following line when it stands alone.
+	lines []int
+}
+
+const directivePrefix = "//ravet:ignore"
+
+// scanIgnores extracts the ignore directives of one file. known maps
+// analyzer names to true; a directive naming an unknown analyzer or
+// carrying no reason is itself an error (appended to errs), because a
+// directive that cannot match anything silently stops suppressing.
+func scanIgnores(fset *token.FileSet, file *ast.File, known map[string]bool) (directives []ignoreDirective, errs []Finding) {
+	codeLines := map[int]token.Pos{} // first code token per line
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || !n.Pos().IsValid() {
+			return true
+		}
+		line := fset.Position(n.Pos()).Line
+		if p, ok := codeLines[line]; !ok || n.Pos() < p {
+			codeLines[line] = n.Pos()
+		}
+		return true
+	})
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //ravet:ignorefoo — not ours
+			}
+			name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			pos := fset.Position(c.Pos())
+			switch {
+			case name == "":
+				errs = append(errs, Finding{Pos: pos, Analyzer: "ravet",
+					Message: "malformed ignore directive: want //ravet:ignore <analyzer> <reason>"})
+				continue
+			case !known[name]:
+				errs = append(errs, Finding{Pos: pos, Analyzer: "ravet",
+					Message: "ignore directive names unknown analyzer " + quoted(name)})
+				continue
+			case strings.TrimSpace(reason) == "":
+				errs = append(errs, Finding{Pos: pos, Analyzer: "ravet",
+					Message: "ignore directive for " + name + " has no reason"})
+				continue
+			}
+			d := ignoreDirective{pos: c.Pos(), analyzer: name, reason: strings.TrimSpace(reason)}
+			line := pos.Line
+			if code, ok := codeLines[line]; ok && code < c.Pos() {
+				d.lines = []int{line} // trailing a statement: covers that line
+			} else {
+				d.lines = []int{line + 1} // standalone: covers the next line
+			}
+			directives = append(directives, d)
+		}
+	}
+	return directives, errs
+}
+
+func quoted(s string) string { return "\"" + s + "\"" }
+
+// suppress marks findings covered by a directive for the same analyzer on
+// a covered line of the same file.
+func suppress(findings []Finding, byFile map[string][]ignoreDirective) {
+	for i := range findings {
+		f := &findings[i]
+		for _, d := range byFile[f.Pos.Filename] {
+			if d.analyzer != f.Analyzer {
+				continue
+			}
+			for _, line := range d.lines {
+				if line == f.Pos.Line {
+					f.Suppressed = true
+					f.Reason = d.reason
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"retrograde/internal/analysis"
+)
+
+// The suppression plumbing is part of the contract ravet enforces: a
+// suppressed finding is still produced (and counted), a directive naming
+// an unknown analyzer is an error, and a directive without a reason is an
+// error — so every ignore in the tree is auditable.
+
+const clockSrc = `package ra
+
+import "time"
+
+func wallClock() int64 {
+	return time.Now().UnixNano() %s
+}
+`
+
+func runClock(t *testing.T, directive string) *analysis.Result {
+	t.Helper()
+	pkg := loadSrc(t, "internal/ra", map[string]string{
+		"clock.go": strings.ReplaceAll(clockSrc, "%s", directive),
+	})
+	res, err := analysis.Run([]*analysis.Package{pkg}, analysis.Suite())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestIgnoreTrailingSuppressesAndCounts(t *testing.T) {
+	res := runClock(t, "//ravet:ignore detrand this test wants the wall clock")
+	if n := len(res.Unsuppressed()); n != 0 {
+		t.Fatalf("got %d unsuppressed findings, want 0: %+v", n, res.Unsuppressed())
+	}
+	if len(res.DirectiveErrors) != 0 {
+		t.Fatalf("unexpected directive errors: %+v", res.DirectiveErrors)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (suppressed findings stay reportable)", len(res.Findings))
+	}
+	f := res.Findings[0]
+	if !f.Suppressed || f.Reason != "this test wants the wall clock" {
+		t.Errorf("finding not suppressed with its reason: %+v", f)
+	}
+	if got := res.SuppressedCount(); got["detrand"] != 1 {
+		t.Errorf("SuppressedCount = %v, want detrand:1", got)
+	}
+}
+
+func TestIgnoreStandaloneCoversNextLine(t *testing.T) {
+	pkg := loadSrc(t, "internal/ra", map[string]string{"clock.go": `package ra
+
+import "time"
+
+func wallClock() int64 {
+	//ravet:ignore detrand this test wants the wall clock
+	return time.Now().UnixNano()
+}
+`})
+	res, err := analysis.Run([]*analysis.Package{pkg}, analysis.Suite())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n := len(res.Unsuppressed()); n != 0 {
+		t.Fatalf("standalone directive did not cover the next line: %+v", res.Unsuppressed())
+	}
+}
+
+func TestIgnoreUnknownAnalyzerIsError(t *testing.T) {
+	res := runClock(t, "//ravet:ignore nosuch the analyzer name has a typo")
+	if len(res.DirectiveErrors) != 1 {
+		t.Fatalf("got %d directive errors, want 1: %+v", len(res.DirectiveErrors), res.DirectiveErrors)
+	}
+	if msg := res.DirectiveErrors[0].Message; !strings.Contains(msg, `unknown analyzer "nosuch"`) {
+		t.Errorf("directive error = %q, want it to name the unknown analyzer", msg)
+	}
+	// The typo'd directive must not suppress the finding it sat on.
+	if n := len(res.Unsuppressed()); n != 1 {
+		t.Errorf("got %d unsuppressed findings, want 1 (a broken directive suppresses nothing)", n)
+	}
+}
+
+func TestIgnoreMissingReasonIsError(t *testing.T) {
+	res := runClock(t, "//ravet:ignore detrand")
+	if len(res.DirectiveErrors) != 1 {
+		t.Fatalf("got %d directive errors, want 1: %+v", len(res.DirectiveErrors), res.DirectiveErrors)
+	}
+	if msg := res.DirectiveErrors[0].Message; !strings.Contains(msg, "has no reason") {
+		t.Errorf("directive error = %q, want a missing-reason complaint", msg)
+	}
+	if n := len(res.Unsuppressed()); n != 1 {
+		t.Errorf("got %d unsuppressed findings, want 1 (a reasonless directive suppresses nothing)", n)
+	}
+}
+
+func TestIgnoreWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	res := runClock(t, "//ravet:ignore nakedgo directive names the wrong analyzer")
+	if len(res.DirectiveErrors) != 0 {
+		t.Fatalf("unexpected directive errors: %+v", res.DirectiveErrors)
+	}
+	if n := len(res.Unsuppressed()); n != 1 {
+		t.Errorf("got %d unsuppressed findings, want 1 (directives are per-analyzer)", n)
+	}
+}
+
+// A kernel package that renames or drops one layout constant loses the
+// cross-check; laneconst must say which constant vanished.
+func TestLaneConstMissingMember(t *testing.T) {
+	pkg := loadSrc(t, "internal/ra", map[string]string{"swar.go": `package ra
+
+const (
+	laneValueBits        = 4
+	laneValueMask byte   = 0x0F
+	laneCntShift         = laneValueBits
+	laneCntField  byte   = 0x70
+	laneCntOne    byte   = 1 << laneCntShift
+	laneFinalBit  byte   = 0x80
+	laneMaxCnt           = 7
+	lanesPerWord         = 8
+	laneLo        uint64 = 0x0101010101010101
+	laneHi        uint64 = 0x8080808080808080
+	laneVal8      uint64 = 0x0F0F0F0F0F0F0F0F
+	laneCnt8      uint64 = 0x7070707070707070
+)
+`})
+	res, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.LaneConst})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	found := false
+	for _, f := range res.Unsuppressed() {
+		if strings.Contains(f.Message, "laneCnt18 is missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing-constant finding for laneCnt18 not reported; got %+v", res.Unsuppressed())
+	}
+}
+
+// A package that installs a pooled allocator but never sends a slice back
+// to any pool leaks every batch.
+func TestPoolReturnLeak(t *testing.T) {
+	pkg := loadSrc(t, "internal/ra", map[string]string{"leak.go": `package ra
+
+import "retrograde/internal/combine"
+
+type item struct{ v int }
+
+func install(b *combine.Buffer[item]) {
+	b.SetAlloc(func() []item { return nil })
+}
+`})
+	res, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.PoolReturn})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	found := false
+	for _, f := range res.Unsuppressed() {
+		if strings.Contains(f.Message, "no release site") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("leak finding not reported; got %+v", res.Unsuppressed())
+	}
+}

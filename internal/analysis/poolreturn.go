@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// PoolReturn enforces the pooled combining-buffer discipline around
+// combine.Buffer's alloc/emit/recycle handoff (the zero-alloc steady
+// state of the hot path):
+//
+//  1. an allocator installed with SetAlloc must return zero-length
+//     slices — a non-empty alloc result silently corrupts batches with
+//     stale items from a previous wave;
+//  2. a pooled slice must not be used after it is released (sent back to
+//     a pool channel or passed to a recycle/release/free function) — the
+//     pool may already have handed it to another goroutine;
+//  3. a package that installs a pooled allocator must contain a release
+//     site (a slice send into a channel), otherwise every batch leaks
+//     and the pool never recycles.
+var PoolReturn = &Analyzer{
+	Name: "poolreturn",
+	Doc:  "pooled wave buffers must be released exactly once and never reused",
+	Run:  runPoolReturn,
+}
+
+// releaseName matches functions that hand a slice back to a pool:
+// recycle/release/free/giveback as verbs (recycleRuns, FreeBatch, ...)
+// plus a bare Put (sync.Pool). Put followed by a type suffix
+// (binary.PutUint64, AppendUint32) is serialisation, not a release.
+var releaseName = regexp.MustCompile(`(?i)^((recycle|release|giveback|free)\w*|put)$`)
+
+func runPoolReturn(pass *Pass) error {
+	idx := funcIndex(pass)
+	var allocCalls []*ast.CallExpr
+	hasSliceSend := false
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if t := pass.Info.Types[n.Value].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Slice); ok {
+						hasSliceSend = true
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "SetAlloc" && isCombineBuffer(pass.Info.Types[sel.X].Type) {
+					allocCalls = append(allocCalls, n)
+					checkAllocCallback(pass, idx, n)
+				}
+			}
+			return true
+		})
+		enclosingFuncs(file, func(body *ast.BlockStmt) {
+			checkUseAfterRelease(pass, body)
+		})
+	}
+
+	if len(allocCalls) > 0 && !hasSliceSend {
+		for _, call := range allocCalls {
+			pass.Report(call.Pos(), "SetAlloc installs a pooled allocator but the package has no release site (no slice is ever sent back to a pool channel): pooled batches leak")
+		}
+	}
+	return nil
+}
+
+// isCombineBuffer reports whether t is (a pointer to) combine.Buffer.
+func isCombineBuffer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Buffer" && obj.Pkg() != nil &&
+		hasPathSuffix(obj.Pkg().Path(), "internal/combine")
+}
+
+// checkAllocCallback verifies that the function passed to SetAlloc only
+// returns zero-length slices.
+func checkAllocCallback(pass *Pass, idx map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	var body *ast.BlockStmt
+	switch arg := ast.Unparen(call.Args[0]).(type) {
+	case *ast.FuncLit:
+		body = arg.Body
+	default:
+		if f := calleeOf(pass.Info, arg); f != nil {
+			if decl, ok := idx[f]; ok {
+				body = decl.Body
+			}
+		}
+	}
+	if body == nil {
+		return // cross-package or dynamic allocator: out of scope
+	}
+	// A variable received from a channel inside the allocator is a pool
+	// item: the release site truncates (b[:0]) before sending, so
+	// returning it as-is preserves the zero-length contract.
+	poolRecv := map[types.Object]bool{}
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		if u, ok := ast.Unparen(as.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						poolRecv[obj] = true
+					} else if obj := pass.Info.Uses[id]; obj != nil {
+						poolRecv[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	fromPool := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && poolRecv[pass.Info.Uses[id]]
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range ret.Results {
+			if !isZeroLenSlice(pass.Info, e) && !fromPool(e) {
+				pass.Report(e.Pos(), "SetAlloc callback must return a zero-length slice (b[:0], make([]T, 0, n) or nil); a non-empty batch would carry stale items into the next wave")
+			}
+		}
+		return true
+	})
+}
+
+// calleeOf resolves an expression naming a function or method value.
+func calleeOf(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isZeroLenSlice reports whether e is statically a zero-length slice:
+// nil, x[:0], make([]T, 0, ...) or []T{}.
+func isZeroLenSlice(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.SliceExpr:
+		if e.Slice3 {
+			return e.High != nil && isConstZero(info, e.High)
+		}
+		return e.High != nil && isConstZero(info, e.High)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" && len(e.Args) >= 2 {
+			return isConstZero(info, e.Args[1])
+		}
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	}
+	return false
+}
+
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return exact && v == 0
+}
+
+// checkUseAfterRelease flags reads of a slice after it was released to a
+// pool within the same function body. Releases are recorded at the end
+// position of the releasing statement, so the release's own operands are
+// not counted as uses, while any later read — including a double release
+// — is.
+func checkUseAfterRelease(pass *Pass, body *ast.BlockStmt) {
+	type release struct {
+		end token.Pos
+		key string
+		how string
+	}
+	var releases []release
+
+	record := func(end token.Pos, e ast.Expr, how string) {
+		e = ast.Unparen(e)
+		// Releasing b[:0] (the idiomatic truncate-and-return) releases b.
+		if s, ok := e.(*ast.SliceExpr); ok {
+			e = ast.Unparen(s.X)
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return
+		}
+		if t := pass.Info.Types[e].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Slice); ok {
+				releases = append(releases, release{end, exprKey(e), how})
+			}
+		}
+	}
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			record(n.End(), n.Value, "sent to a pool channel")
+		case *ast.CallExpr:
+			f := calleeFunc(pass.Info, n)
+			if f != nil && releaseName.MatchString(f.Name()) {
+				for _, a := range n.Args {
+					record(n.End(), a, "passed to "+f.Name())
+				}
+			}
+		}
+		return true
+	})
+	if len(releases) == 0 {
+		return
+	}
+
+	// Collect value reads: everything except assignment LHSs (rebinding a
+	// released variable is fine) and nested function literals.
+	var visitReads func(n ast.Node)
+	reportRead := func(e ast.Expr) {
+		key := exprKey(e)
+		for _, r := range releases {
+			if r.key == key && e.Pos() > r.end {
+				pass.Report(e.Pos(), fmt.Sprintf("pooled slice %s used after it was released (%s at %s)", key, r.how, pass.Fset.Position(r.end)))
+				return
+			}
+		}
+	}
+	visitReads = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				for _, rhs := range m.Rhs {
+					visitReads(rhs)
+				}
+				return false
+			case *ast.SelectorExpr:
+				reportRead(m)
+				return false // the whole selector is the read
+			case *ast.Ident:
+				reportRead(m)
+			}
+			return true
+		})
+	}
+	visitReads(body)
+}

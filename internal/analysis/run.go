@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Run executes the analyzers over the loaded packages, applies the
+// //ravet:ignore directives, and returns the aggregated result.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	res := &Result{Packages: len(pkgs)}
+	for _, pkg := range pkgs {
+		byFile := map[string][]ignoreDirective{}
+		for _, f := range pkg.Files {
+			ds, errs := scanIgnores(pkg.Fset, f, known)
+			if len(ds) > 0 {
+				name := pkg.Fset.Position(f.Pos()).Filename
+				byFile[name] = append(byFile[name], ds...)
+			}
+			res.DirectiveErrors = append(res.DirectiveErrors, errs...)
+		}
+		var pkgFindings []Finding
+		for _, a := range analyzers {
+			if !a.appliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+			}
+			pass.report = func(pos token.Pos, msg string) {
+				pkgFindings = append(pkgFindings, Finding{
+					Pos:      pkg.Fset.Position(pos),
+					Analyzer: a.Name,
+					Message:  msg,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		suppress(pkgFindings, byFile)
+		res.Findings = append(res.Findings, pkgFindings...)
+	}
+	sort.SliceStable(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i].Pos, res.Findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return res, nil
+}

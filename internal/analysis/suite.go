@@ -1,0 +1,13 @@
+package analysis
+
+// Suite returns the full ravet analyzer suite in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		ConnDeadline,
+		PoolReturn,
+		TypedErr,
+		LaneConst,
+		DetRand,
+		NakedGo,
+	}
+}

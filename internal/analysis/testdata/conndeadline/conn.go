@@ -1,0 +1,50 @@
+// Golden input for the conndeadline analyzer: every Read/Write on a
+// conn-like value must be dominated by the matching deadline arm in the
+// same function (the wedge-detection invariant the mesh and serving tier
+// rely on).
+package remote
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+func deadlineMissing(c net.Conn, buf []byte) {
+	c.Read(buf)         // want `Read on c without a preceding SetReadDeadline`
+	c.Write(buf)        // want `Write on c without a preceding SetWriteDeadline`
+	io.ReadFull(c, buf) // want `io.ReadFull on c without a preceding SetReadDeadline`
+}
+
+func deadlineArmed(c net.Conn, buf []byte) error {
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return err
+	}
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	_, err := c.Write(buf)
+	return err
+}
+
+func deadlineCoversBoth(c net.Conn, buf []byte) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	c.Read(buf)
+	c.Write(buf)
+}
+
+func deadlinePerConn(armed, naked net.Conn, buf []byte) {
+	armed.SetReadDeadline(time.Now().Add(time.Second))
+	armed.Read(buf)
+	naked.Read(buf) // want `Read on naked without a preceding SetReadDeadline`
+}
+
+// Arming in the spawning function does not cover the closure: each
+// function body is its own scope, and the goroutine may run long after
+// the outer deadline expired.
+func deadlineScopedToFunc(c net.Conn, buf []byte, done chan struct{}) {
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	go func() {
+		c.Write(buf) // want `Write on c without a preceding SetWriteDeadline`
+		close(done)
+	}()
+}

@@ -1,0 +1,54 @@
+// Golden input for the detrand analyzer: the solve/checksum paths must be
+// bit-identically reproducible, which bans the process-seeded global rand
+// source, wall-clock reads, and map-order-driven emission.
+package ra
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalRand() int {
+	return rand.Intn(6) // want `rand.Intn draws from the process-seeded global source`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicit-seed constructors are the sanctioned form
+	return r.Intn(6)
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a deterministic path`
+}
+
+func mapDrivenEmit(m map[uint64]int, sink chan<- uint64) {
+	for q := range m { // want `map iteration drives side effects`
+		sink <- q
+	}
+}
+
+func mapDrivenCall(m map[uint64]int) int {
+	total := 0
+	for q, n := range m { // want `map iteration drives side effects`
+		total += observe(q, n)
+	}
+	return total
+}
+
+func observe(q uint64, n int) int { return int(q) + n }
+
+func mapAccumulate(m map[uint64]int) int {
+	total := 0
+	for _, n := range m { // pure accumulation commutes: not flagged
+		total += n
+	}
+	return total
+}
+
+func mapBuiltins(m map[uint64][]int) {
+	for q := range m { // len/delete are order-insensitive builtins
+		if len(m[q]) == 0 {
+			delete(m, q)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Scalar half: the packed-uint32 layout with the counter shift seeded
+// wrong — a 12-bit shift over a 16-bit value field overlaps the two
+// fields, which the layout check and the overlap check both catch.
+package ra
+
+const (
+	stateValueMask  uint32 = 0xFFFF
+	stateCountShift        = 12     // want `stateCountShift 12 does not sit directly above the 16-bit value field`
+	stateCountMask  uint32 = 0x7FFF // want `scalar value/counter/final fields overlap`
+	stateFinalBit   uint32 = 1 << 31
+)

@@ -1,0 +1,20 @@
+// Golden input for the laneconst analyzer, SWAR half: the full byte-lane
+// constant group with one broadcast mask seeded wrong — laneCnt18 must be
+// laneCntOne replicated into all eight lanes.
+package ra
+
+const (
+	laneValueBits        = 4
+	laneValueMask byte   = 0x0F
+	laneCntShift         = laneValueBits
+	laneCntField  byte   = 0x70
+	laneCntOne    byte   = 1 << laneCntShift
+	laneFinalBit  byte   = 0x80
+	laneMaxCnt           = 7
+	lanesPerWord         = 8
+	laneLo        uint64 = 0x0101010101010101
+	laneHi        uint64 = 0x8080808080808080
+	laneVal8      uint64 = 0x0F0F0F0F0F0F0F0F
+	laneCnt8      uint64 = 0x7070707070707070
+	laneCnt18     uint64 = 0x2020202020202020 // want `laneCnt18 0x2020202020202020 is not laneCntOne replicated`
+)

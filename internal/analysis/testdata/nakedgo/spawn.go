@@ -1,0 +1,43 @@
+// Golden input for the nakedgo analyzer: every goroutine launched in
+// engine/server code must be observable by some shutdown mechanism — a
+// WaitGroup, a quit channel, a select — or be flagged.
+package server
+
+import "sync"
+
+type loop struct {
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (l *loop) runUntied() {}
+
+func (l *loop) runQuit() {
+	for {
+		select {
+		case <-l.quit:
+			return
+		}
+	}
+}
+
+func spawnUntied(l *loop) {
+	go l.runUntied() // want `goroutine l.runUntied is tied to no WaitGroup, channel or context`
+	go func() {      // want `goroutine func literal is tied to no WaitGroup, channel or context`
+		_ = l
+	}()
+}
+
+func spawnTracked(l *loop) {
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+	}()
+	go l.runQuit() // quit-channel select in the body ties it
+}
+
+func spawnForeign(o *sync.Once) {
+	go o.Do(noop) // want `goroutine target o.Do is not resolvable in this package`
+}
+
+func noop() {}

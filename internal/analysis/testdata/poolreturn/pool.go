@@ -1,0 +1,58 @@
+// Golden input for the poolreturn analyzer: combine.Buffer allocators
+// must hand out zero-length batches, and a pooled slice must never be
+// touched after it went back to the pool.
+package ra
+
+import "retrograde/internal/combine"
+
+type update struct{ target uint64 }
+
+type pool struct {
+	free chan []update
+}
+
+func allocNotEmpty(b *combine.Buffer[update]) {
+	b.SetAlloc(func() []update {
+		return make([]update, 8) // want `SetAlloc callback must return a zero-length slice`
+	})
+}
+
+func allocZero(b *combine.Buffer[update], p *pool) {
+	b.SetAlloc(func() []update {
+		select {
+		case batch := <-p.free:
+			return batch // pool items were truncated at the release site
+		default:
+			return make([]update, 0, 8)
+		}
+	})
+}
+
+func useAfterSend(p *pool, batch []update) {
+	p.free <- batch[:0]
+	_ = batch[0] // want `pooled slice batch used after it was released`
+}
+
+func useAfterRecycle(p *pool, batch []update) {
+	p.recycle(batch)
+	_ = len(batch) // want `pooled slice batch used after it was released`
+}
+
+func (p *pool) recycle(b []update) {
+	select {
+	case p.free <- b[:0]:
+	default:
+	}
+}
+
+func releaseLast(p *pool, batch []update) {
+	for i := range batch {
+		batch[i] = update{}
+	}
+	p.free <- batch[:0]
+}
+
+func rebindAfterRelease(p *pool, batch []update) {
+	p.free <- batch[:0]
+	batch = nil // rebinding the variable is not a use
+}

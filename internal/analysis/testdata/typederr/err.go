@@ -1,0 +1,45 @@
+// Golden input for the typederr analyzer: errors crossing package
+// boundaries must stay inspectable — wrap with %w, compare with
+// errors.Is — so NodeFailedError / CounterOverflowError contracts survive
+// any number of wrapping layers.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errPeer = errors.New("peer failed")
+
+func compareEq(err error) bool {
+	return err == io.EOF // want `errors compared with ==`
+}
+
+func compareNe(err error) bool {
+	return err != errPeer // want `errors compared with !=`
+}
+
+func nilChecks(err error) bool {
+	return err == nil || err != nil // nil checks are idiomatic, not flagged
+}
+
+func wrapV(err error) error {
+	return fmt.Errorf("solve failed: %v", err) // want `error formatted with %v loses the chain`
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("solve failed: %s", err) // want `error formatted with %s loses the chain`
+}
+
+func wrapW(err error) error {
+	return fmt.Errorf("solve failed: %w", err)
+}
+
+func typeVerb(err error) error {
+	return fmt.Errorf("unexpected error type %T", err)
+}
+
+func isIdiomatic(err error) bool {
+	return errors.Is(err, io.EOF)
+}

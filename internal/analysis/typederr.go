@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// TypedErr keeps error chains intact across the package boundaries where
+// typed-error contracts exist (remote's NodeFailedError, game's
+// CounterOverflowError, server's retry classification):
+//
+//  1. fmt.Errorf must wrap error operands with %w, not flatten them with
+//     %v/%s — flattening breaks errors.Is/As for every caller above the
+//     wrap, which is how fault handling decides between retry, failover
+//     and abort;
+//  2. errors must be compared with errors.Is, not ==/!= — a sentinel
+//     comparison stops matching the moment any layer wraps the error
+//     (and the wire layers wrap deliberately).
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc:  "error chains must survive wrapping: %w in fmt.Errorf, errors.Is over ==",
+	Run:  runTypedErr,
+}
+
+func runTypedErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfWrap matches fmt.Errorf verbs to arguments and flags error
+// operands formatted with anything but %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: nothing static to say
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%[") {
+		return // explicit argument indexes: bail out rather than misattribute
+	}
+	verbs := formatVerbs(format)
+	args := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) || verb == 'w' || verb == 'T' {
+			continue // %T prints the dynamic type; there is no chain to lose
+		}
+		t := pass.Info.Types[args[i]].Type
+		if t != nil && isErrorType(t) {
+			pass.Report(args[i].Pos(), fmt.Sprintf("error formatted with %%%c loses the chain — use %%w so callers can errors.Is/As through the wrap", verb))
+		}
+	}
+}
+
+// formatVerbs returns the verb letter for each argument-consuming verb in
+// a Printf-style format string, accounting for %% and star widths.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if c == '*' {
+				verbs = append(verbs, '*') // star consumes an int argument
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.", rune(c)) {
+				i++
+				continue
+			}
+			verbs = append(verbs, rune(c))
+			break
+		}
+	}
+	return verbs
+}
+
+// checkErrCompare flags ==/!= between two error values (nil comparisons
+// are the idiomatic success check and stay allowed).
+func checkErrCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	lt := pass.Info.Types[be.X].Type
+	rt := pass.Info.Types[be.Y].Type
+	if lt == nil || rt == nil {
+		return
+	}
+	if isNilExpr(pass, be.X) || isNilExpr(pass, be.Y) {
+		return
+	}
+	if isErrorType(lt) && isErrorType(rt) {
+		pass.Report(be.OpPos, fmt.Sprintf("errors compared with %s stop matching once any layer wraps them — use errors.Is", be.Op))
+	}
+}
+
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}

@@ -54,6 +54,10 @@ type Config struct {
 	// FailAfter is how many consecutive failed checks mark a backend
 	// unhealthy (0 = 2). One success marks it healthy again.
 	FailAfter int
+	// WriteTimeout bounds each reply write on front connections (binary
+	// and HTTP), so a client that stops draining its socket cannot wedge
+	// a routing goroutine forever (0 = 60s).
+	WriteTimeout time.Duration
 	// MaxInflight bounds concurrently routed front batches; beyond it
 	// the broker sheds load with overload frames (0 = 256).
 	MaxInflight int
@@ -96,6 +100,13 @@ func (c Config) maxInflight() int {
 		return c.MaxInflight
 	}
 	return 256
+}
+
+func (c Config) writeTimeout() time.Duration {
+	if c.WriteTimeout > 0 {
+		return c.WriteTimeout
+	}
+	return 60 * time.Second
 }
 
 // backend is one raserve node behind the broker.
@@ -226,7 +237,7 @@ func Start(addr string, cfg Config) (*Broker, error) {
 	br.httpSrv = &http.Server{
 		Handler:      br.httpMux(),
 		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 60 * time.Second,
+		WriteTimeout: cfg.writeTimeout(),
 		IdleTimeout:  2 * time.Minute,
 	}
 	for _, a := range order {
@@ -235,7 +246,11 @@ func Start(addr string, cfg Config) (*Broker, error) {
 	}
 	br.wg.Add(1)
 	go br.acceptLoop()
-	go br.httpSrv.Serve(br.httpL)
+	br.wg.Add(1)
+	go func() {
+		defer br.wg.Done()
+		br.httpSrv.Serve(br.httpL) // returns once Close closes httpL
+	}()
 	return br, nil
 }
 
@@ -551,6 +566,7 @@ func (br *Broker) serveConn(c net.Conn) {
 			}
 			br.m.pings.Add(1)
 			wmu.Lock()
+			c.SetWriteDeadline(time.Now().Add(br.cfg.writeTimeout()))
 			c.Write(server.EncodePong(id))
 			wmu.Unlock()
 			continue
@@ -565,6 +581,7 @@ func (br *Broker) serveConn(c net.Conn) {
 		overload := func() {
 			br.m.overloads.Add(1)
 			wmu.Lock()
+			c.SetWriteDeadline(time.Now().Add(br.cfg.writeTimeout()))
 			c.Write(server.EncodeOverload(id))
 			wmu.Unlock()
 		}
@@ -590,6 +607,7 @@ func (br *Broker) serveConn(c net.Conn) {
 			answers := br.route(qs)
 			br.m.latency.Observe(uint64(time.Since(start).Microseconds()))
 			wmu.Lock()
+			c.SetWriteDeadline(time.Now().Add(br.cfg.writeTimeout()))
 			c.Write(server.EncodeAnswers(id, answers))
 			wmu.Unlock()
 		}()

@@ -1,0 +1,34 @@
+package broker
+
+import (
+	"testing"
+	"time"
+)
+
+// The WriteTimeout knob guards reply writes on front connections (binary
+// and HTTP); regression tests for its default and its plumbing into the
+// embedded HTTP server.
+func TestWriteTimeoutDefaultAndOverride(t *testing.T) {
+	if got := (Config{}).writeTimeout(); got != 60*time.Second {
+		t.Errorf("default writeTimeout = %v, want 60s", got)
+	}
+	if got := (Config{WriteTimeout: 5 * time.Second}).writeTimeout(); got != 5*time.Second {
+		t.Errorf("writeTimeout override = %v, want 5s", got)
+	}
+}
+
+func TestWriteTimeoutPlumbedToHTTP(t *testing.T) {
+	// A backend that is down at startup is fine: the broker starts
+	// regardless and dials lazily.
+	br, err := Start("127.0.0.1:0", Config{
+		Backends:     []string{"127.0.0.1:1"},
+		WriteTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	if got := br.httpSrv.WriteTimeout; got != 5*time.Second {
+		t.Errorf("httpSrv.WriteTimeout = %v, want the configured 5s", got)
+	}
+}

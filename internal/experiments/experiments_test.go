@@ -254,14 +254,27 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var tables []struct {
-		ID     string     `json:"id"`
-		Kernel string     `json:"kernel"`
-		Rows   [][]string `json:"rows"`
+	var doc struct {
+		Provenance struct {
+			Tool       string `json:"tool"`
+			RavetSuite string `json:"ravetSuite"`
+			Analyzers  int    `json:"analyzers"`
+			GoVersion  string `json:"goVersion"`
+		} `json:"provenance"`
+		Tables []struct {
+			ID     string     `json:"id"`
+			Kernel string     `json:"kernel"`
+			Rows   [][]string `json:"rows"`
+		} `json:"tables"`
 	}
-	if err := json.Unmarshal(raw, &tables); err != nil {
+	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatalf("JSON output: %v", err)
 	}
+	if doc.Provenance.Tool != "rabench" || doc.Provenance.RavetSuite == "" ||
+		doc.Provenance.Analyzers < 6 || doc.Provenance.GoVersion == "" {
+		t.Errorf("provenance block = %+v", doc.Provenance)
+	}
+	tables := doc.Tables
 	ids := make(map[string]bool)
 	kernels := make(map[string]string)
 	for _, tb := range tables {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"retrograde/internal/analysis"
 	"retrograde/internal/ra"
 	"retrograde/internal/stats"
 )
@@ -134,7 +135,12 @@ func RunAll(s Scale, w io.Writer, progress bool, csvDir, jsonPath string) error 
 		if err != nil {
 			return err
 		}
-		if err := stats.WriteJSON(f, collected); err != nil {
+		prov := stats.Provenance{
+			Tool:       "rabench",
+			RavetSuite: analysis.Version,
+			Analyzers:  len(analysis.Suite()),
+		}
+		if err := stats.WriteJSON(f, prov, collected); err != nil {
 			f.Close()
 			return err
 		}

@@ -132,7 +132,7 @@ func Parse(spec string) (Plan, error) {
 			return p, fmt.Errorf("faultnet: unknown fault %q (want seed, maxread, maxwrite, delay, every, cut, wedge)", key)
 		}
 		if err != nil {
-			return p, fmt.Errorf("faultnet: bad %s: %v", key, err)
+			return p, fmt.Errorf("faultnet: bad %s: %w", key, err)
 		}
 	}
 	if p.Wedge && p.CutAfter == 0 {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strconv"
 	"testing"
 	"time"
 )
@@ -225,5 +226,10 @@ func TestParse(t *testing.T) {
 	}
 	if got := want.String(); got != "seed=7,maxread=3,delay=2ms,every=10,cut=4096,wedge" {
 		t.Errorf("String = %q", got)
+	}
+	// Parse errors wrap their cause, so callers can classify with
+	// errors.Is through the "faultnet: bad <key>" layer.
+	if _, err := Parse("maxread=zz"); !errors.Is(err, strconv.ErrSyntax) {
+		t.Errorf("Parse(maxread=zz) = %v, want a wrapped strconv.ErrSyntax", err)
 	}
 }

@@ -196,9 +196,13 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, *Report, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("remote: dial: %w", err)
 			}
+			// The hello byte is armed like the accept side's read of it: a
+			// peer that accepts but never drains must not wedge bootstrap.
+			c.SetWriteDeadline(time.Now().Add(e.timeout()))
 			if _, err := c.Write([]byte{byte(i)}); err != nil {
 				return nil, nil, err
 			}
+			c.SetWriteDeadline(time.Time{})
 			if e.WrapConn != nil {
 				c = e.WrapConn(i, j, c)
 			}
@@ -605,10 +609,10 @@ func (n *node) reader(from int, c net.Conn) {
 		c.SetReadDeadline(time.Now().Add(n.timeout))
 		ev, err := readFrame(br)
 		if err != nil {
-			if err == io.EOF && sawBye {
+			if errors.Is(err, io.EOF) && sawBye {
 				return
 			}
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				err = fmt.Errorf("connection closed without bye: %w", io.ErrUnexpectedEOF)
 			}
 			n.peerFailed(from)(err)

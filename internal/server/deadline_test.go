@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// deadlineConn wraps an accepted connection and records whether every
+// reply write happened under an armed write deadline — the wedge-defence
+// regression guard for serveConn: a peer that stops draining its socket
+// must not be able to park a reply goroutine forever.
+type deadlineConn struct {
+	net.Conn
+	mu       sync.Mutex
+	armed    int // SetWriteDeadline calls with a non-zero time
+	writes   int
+	unarmed  int // writes issued before any deadline was armed
+	rearmGap int // writes not preceded by their own re-arm
+}
+
+func (d *deadlineConn) SetWriteDeadline(t time.Time) error {
+	d.mu.Lock()
+	if !t.IsZero() {
+		d.armed++
+	}
+	d.mu.Unlock()
+	return d.Conn.SetWriteDeadline(t)
+}
+
+func (d *deadlineConn) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	d.writes++
+	if d.armed == 0 {
+		d.unarmed++
+	}
+	if d.armed < d.writes {
+		d.rearmGap++
+	}
+	d.mu.Unlock()
+	return d.Conn.Write(p)
+}
+
+// TestReplyWritesAreDeadlined drives pings and queries through a server
+// whose accepted conns record deadline arming, and requires every binary
+// reply write (pong, answers) to be freshly deadlined.
+func TestReplyWritesAreDeadlined(t *testing.T) {
+	dir := t.TempDir()
+	l := buildLadder(t)
+	saveRungs(t, l, dir)
+
+	var mu sync.Mutex
+	var conns []*deadlineConn
+	s := startServer(t, dir, Config{
+		WriteTimeout: 2 * time.Second,
+		WrapConn: func(c net.Conn) net.Conn {
+			d := &deadlineConn{Conn: c}
+			mu.Lock()
+			conns = append(conns, d)
+			mu.Unlock()
+			return d
+		},
+	})
+	c := dial(t, s)
+
+	if err := c.Ping(time.Second); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, err := c.Value(boardOf(testStones, 0)); err != nil {
+		t.Fatalf("value: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, d := range conns {
+		d.mu.Lock()
+		total += d.writes
+		if d.unarmed > 0 {
+			t.Errorf("%d reply writes before any SetWriteDeadline", d.unarmed)
+		}
+		if d.rearmGap > 0 {
+			t.Errorf("%d reply writes reused a stale deadline instead of re-arming", d.rearmGap)
+		}
+		d.mu.Unlock()
+	}
+	if total == 0 {
+		t.Fatal("no reply writes observed; the recorder is not in the path")
+	}
+}

@@ -38,8 +38,10 @@ type Config struct {
 	QueueDepth int
 	// ReadTimeout, WriteTimeout and IdleTimeout bound the embedded HTTP
 	// server (request read, response write, keep-alive idle); zero means
-	// 30s, 60s and 2m. They do not apply to binary-protocol connections,
-	// which are long-lived and may idle between batches.
+	// 30s, 60s and 2m. Binary-protocol connections are long-lived and may
+	// idle between batches, so ReadTimeout and IdleTimeout do not apply
+	// to them — but WriteTimeout bounds each reply write, so a peer that
+	// stops draining its socket cannot wedge a reply goroutine forever.
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
 	IdleTimeout  time.Duration
@@ -163,7 +165,11 @@ func Start(addr string, cfg Config) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	go s.httpSrv.Serve(s.httpL)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.httpSrv.Serve(s.httpL) // returns once Close closes httpL
+	}()
 	return s, nil
 }
 
@@ -396,6 +402,7 @@ func (s *Server) serveConn(c net.Conn) {
 			}
 			s.m.pings.Add(1)
 			wmu.Lock()
+			c.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout()))
 			c.Write(EncodePong(id))
 			wmu.Unlock()
 			continue
@@ -409,6 +416,7 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		if !s.begin() {
 			wmu.Lock()
+			c.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout()))
 			c.Write(EncodeOverload(id))
 			wmu.Unlock()
 			continue
@@ -427,6 +435,7 @@ func (s *Server) serveConn(c net.Conn) {
 				frame = EncodeAnswers(id, answers)
 			}
 			wmu.Lock()
+			c.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout()))
 			c.Write(frame)
 			wmu.Unlock()
 		}()

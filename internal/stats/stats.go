@@ -11,6 +11,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"runtime"
 	"strings"
 	"sync/atomic"
 )
@@ -254,13 +255,36 @@ type NamedTable struct {
 	Table *Table
 }
 
-// WriteJSON writes the tables as one indented JSON array, preserving the
-// rendered cell strings so downstream tooling reads exactly the numbers
-// the text report shows.
-func WriteJSON(w io.Writer, tables []NamedTable) error {
-	out := make([]tableJSON, len(tables))
+// Provenance records how a results file was produced, so a number in a
+// table can be traced back to the tool and the correctness gates the
+// tree passed when it was generated.
+type Provenance struct {
+	// Tool is the command that wrote the file ("rabench", "rastats").
+	Tool string `json:"tool"`
+	// RavetSuite is the analyzer-suite version (analysis.Version) the
+	// tree is gated on, and Analyzers the number of analyzers in it.
+	RavetSuite string `json:"ravetSuite,omitempty"`
+	Analyzers  int    `json:"analyzers,omitempty"`
+	// GoVersion is filled by WriteJSON when left empty.
+	GoVersion string `json:"goVersion"`
+}
+
+// documentJSON is the top-level shape of a WriteJSON file.
+type documentJSON struct {
+	Provenance Provenance  `json:"provenance"`
+	Tables     []tableJSON `json:"tables"`
+}
+
+// WriteJSON writes the tables as one indented JSON document under a
+// provenance header, preserving the rendered cell strings so downstream
+// tooling reads exactly the numbers the text report shows.
+func WriteJSON(w io.Writer, prov Provenance, tables []NamedTable) error {
+	if prov.GoVersion == "" {
+		prov.GoVersion = runtime.Version()
+	}
+	out := documentJSON{Provenance: prov, Tables: make([]tableJSON, len(tables))}
 	for i, nt := range tables {
-		out[i] = tableJSON{
+		out.Tables[i] = tableJSON{
 			ID:      nt.ID,
 			Title:   nt.Table.Title,
 			Kernel:  nt.Table.Kernel,

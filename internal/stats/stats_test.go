@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"sync"
@@ -153,5 +154,34 @@ func TestHistogramConcurrent(t *testing.T) {
 	wg.Wait()
 	if h.Count() != 8000 {
 		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestWriteJSONProvenance(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.Row("1", "2")
+	var buf strings.Builder
+	prov := Provenance{Tool: "rastats", RavetSuite: "ravet/1", Analyzers: 6}
+	if err := WriteJSON(&buf, prov, []NamedTable{{ID: "X", Table: tb}}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Provenance Provenance `json:"provenance"`
+		Tables     []struct {
+			ID   string     `json:"id"`
+			Rows [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Provenance.Tool != "rastats" || doc.Provenance.RavetSuite != "ravet/1" || doc.Provenance.Analyzers != 6 {
+		t.Errorf("provenance = %+v", doc.Provenance)
+	}
+	if doc.Provenance.GoVersion == "" {
+		t.Error("GoVersion not filled in by WriteJSON")
+	}
+	if len(doc.Tables) != 1 || doc.Tables[0].ID != "X" || len(doc.Tables[0].Rows) != 1 {
+		t.Errorf("tables block = %+v", doc.Tables)
 	}
 }
