@@ -31,6 +31,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzApplyWord -fuzztime=10s ./internal/ra/
 	$(GO) test -fuzz=FuzzZdbRoundtrip -fuzztime=10s ./internal/zdb/
 	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/server/
+	$(GO) test -fuzz=FuzzSpillRoundtrip -fuzztime=10s ./internal/oocore/
 
 fmt:
 	gofmt -l -w .

@@ -10,6 +10,8 @@
 //	rabench -json results.json    # also dump every table as JSON
 //	rabench -cpuprofile cpu.out   # profile the hot path with pprof
 //	rabench -smoke                # E14 kernel check only; exit 1 if SWAR < scalar
+//	rabench -oocore               # E15 out-of-core cap sweep only; exit 1 on any
+//	                              # checksum divergence from the in-core oracle
 package main
 
 import (
@@ -37,6 +39,7 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	smoke := flag.Bool("smoke", false, "run only the E14 kernel comparison and fail if SWAR is slower than scalar")
+	oocoreRun := flag.Bool("oocore", false, "run only the E15 out-of-core cap sweep and fail on any divergence from the in-core oracle")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -89,6 +92,13 @@ func run() int {
 	}
 	if *smoke {
 		if err := experiments.E14Smoke(scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rabench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *oocoreRun {
+		if err := experiments.E15Smoke(scale, os.Stdout, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "rabench: %v\n", err)
 			return 1
 		}

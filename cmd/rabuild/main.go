@@ -9,6 +9,14 @@
 //	rabuild -game nim -heaps 3 -max 7 -out dbs/     # a Nim database
 //	rabuild -game ttt -out dbs/                     # the tic-tac-toe database
 //	rabuild -game krk -board 8 -out dbs/            # the KRK chess endgame
+//	rabuild -stones 9 -memlimit 4194304 -out dbs/   # out-of-core: 4 MiB resident cap
+//
+// -memlimit selects the out-of-core engine: each rung is solved with
+// resident per-position state capped at the given byte budget, cold
+// blocks spilled (zdb-compressed, checksummed) to -spilldir, which
+// defaults to <out>/spill. The database written is bit-identical to the
+// in-core engines'. A killed build resumes from the last spill-store
+// checkpoint when rerun with the same flags.
 //
 // For awari, all rungs 0..stones are built in order (each rung needs the
 // smaller ones) and each is saved as awari-<n>.radb. The chosen engine is
@@ -34,6 +42,7 @@ import (
 	"retrograde/internal/kalah"
 	"retrograde/internal/ladder"
 	"retrograde/internal/nim"
+	_ "retrograde/internal/oocore" // registers the out-of-core engine with ra
 	"retrograde/internal/ra"
 	"retrograde/internal/remote"
 	"retrograde/internal/stats"
@@ -63,9 +72,11 @@ func run() error {
 	heaps := flag.Int("heaps", 3, "nim: number of heaps")
 	maxHeap := flag.Int("max", 7, "nim: heap capacity")
 	board := flag.Int("board", 8, "krk: board size (4..8)")
-	engineName := flag.String("engine", "concurrent", "engine: sequential, concurrent, distributed, tcp")
+	engineName := flag.String("engine", "concurrent", "engine: sequential, concurrent, distributed, tcp, outofcore")
 	procs := flag.Int("procs", 8, "workers (concurrent) or simulated nodes (distributed)")
 	combineSize := flag.Int("combine", 100, "distributed: updates per combined message (1 = off)")
+	memLimit := flag.Uint64("memlimit", 0, "resident state cap in bytes; >0 selects the out-of-core engine")
+	spillDir := flag.String("spilldir", "", "out-of-core spill directory (default <out>/spill)")
 	out := flag.String("out", ".", "output directory for .radb files")
 	single := flag.String("single", "", "awari: additionally write all rungs into one .rafy family file")
 	compress := flag.Bool("compress", false, "write block-compressed v2 .radb files")
@@ -73,6 +84,9 @@ func run() error {
 	flag.Parse()
 	compressOut, blockLen = *compress, *block
 
+	if *memLimit > 0 && *engineName == "concurrent" {
+		*engineName = "outofcore" // -memlimit alone selects the capped engine
+	}
 	var engine ra.Engine
 	switch *engineName {
 	case "sequential":
@@ -83,6 +97,15 @@ func run() error {
 		engine = ra.Distributed{Workers: *procs, Combine: *combineSize}
 	case "tcp":
 		engine = remote.Engine{Workers: *procs, Batch: *combineSize}
+	case "outofcore":
+		if *memLimit == 0 {
+			return fmt.Errorf("engine outofcore needs -memlimit > 0")
+		}
+		dir := *spillDir
+		if dir == "" {
+			dir = filepath.Join(*out, "spill")
+		}
+		engine = outOfCore{memLimit: *memLimit, dir: dir}
 	default:
 		return fmt.Errorf("unknown engine %q", *engineName)
 	}
@@ -111,6 +134,28 @@ func run() error {
 		return buildOne(g, engine, *out)
 	}
 	return fmt.Errorf("unknown game %q", *gameName)
+}
+
+// outOfCore adapts the capped engine to ladder use: rungs differ in size,
+// so each game spills into its own subdirectory (keyed by game name) and
+// an interrupted build resumes whichever rung it died in.
+type outOfCore struct {
+	memLimit uint64
+	dir      string
+}
+
+func (e outOfCore) Name() string { return fmt.Sprintf("out-of-core(cap=%d)", e.memLimit) }
+
+func (e outOfCore) Solve(g game.Game) (*ra.Result, error) {
+	inner, err := ra.NewEngine(ra.Config{
+		Engine:   ra.OutOfCore,
+		MemLimit: e.memLimit,
+		SpillDir: filepath.Join(e.dir, g.Name()),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return inner.Solve(g)
 }
 
 func buildAwari(stones int, loopName, slamName string, refine bool, engine ra.Engine, out, single string) error {

@@ -6,6 +6,11 @@
 //
 //	rastats -db dbs/ -stones 8
 //	rastats -db dbs/ -stones 8 -json stats.json
+//	rastats -spill dbs/spill/awari-8     # summarise an out-of-core spill store
+//
+// -spill inspects an out-of-core spill directory instead of databases:
+// block files on disk, total spill bytes, and — when a checkpoint
+// manifest is present — the interrupted solve it would resume.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"retrograde/internal/awari"
 	"retrograde/internal/db"
 	"retrograde/internal/game"
+	"retrograde/internal/oocore"
 	"retrograde/internal/stats"
 	"retrograde/internal/zdb"
 )
@@ -33,7 +39,12 @@ func run() error {
 	dir := flag.String("db", ".", "directory holding awari-<n>.radb files")
 	stones := flag.Int("stones", 8, "summarise rungs 0..stones")
 	jsonPath := flag.String("json", "", "also write the table as one JSON file")
+	spillDir := flag.String("spill", "", "summarise the out-of-core spill store in this directory instead")
 	flag.Parse()
+
+	if *spillDir != "" {
+		return spillReport(*spillDir)
+	}
 
 	t := stats.NewTable("awari database statistics",
 		"stones", "positions", "packed", "file", "ratio", "codecs",
@@ -99,6 +110,27 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// spillReport prints what an out-of-core spill directory holds: the
+// block files and, when a manifest is present, the checkpointed solve a
+// rerun would resume.
+func spillReport(dir string) error {
+	info, err := oocore.InspectDir(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spill store %s\n", info.Dir)
+	fmt.Printf("  block files   %d (%s)\n", info.BlockFiles, stats.Bytes(info.SpillBytes))
+	if !info.HasManifest {
+		fmt.Printf("  manifest      none (no interrupted solve to resume)\n")
+		return nil
+	}
+	fmt.Printf("  manifest      checkpoint after wave %d\n", info.Waves)
+	fmt.Printf("  solve         %s positions, %s kernel, %d blocks of %s\n",
+		stats.Count(info.Size), info.Kernel, info.Blocks, stats.Count(info.BlockLen))
+	fmt.Printf("  parked runs   %s cross-block update runs awaiting delivery\n", stats.Count(info.Pending))
 	return nil
 }
 

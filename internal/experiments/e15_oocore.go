@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"retrograde/internal/analysis"
+	"retrograde/internal/oocore"
+	"retrograde/internal/ra"
+	"retrograde/internal/stats"
+)
+
+// E15OutOfCore measures the out-of-core wave engine against the memory
+// cap: the headline rung solved with resident state limited to a falling
+// fraction of the in-core footprint, versus the in-core sequential
+// baseline. Every capped run must produce a database bit-identical to
+// the oracle (checksum-gated, the experiment fails on mismatch); the
+// table shows what that costs in throughput and spill traffic. This is
+// the single-machine answer to the paper's ">600 MByte on a
+// uniprocessor" problem: trade spill-store bandwidth for memory instead
+// of adding cluster nodes.
+func E15OutOfCore(env *Env) (*stats.Table, error) {
+	t, _, err := e15Table(env)
+	return t, err
+}
+
+// e15Table runs the cap sweep and also returns the spill counters of the
+// half-footprint run — the deliverable configuration — for provenance.
+func e15Table(env *Env) (*stats.Table, *stats.Spill, error) {
+	slice := env.Headline()
+	ic, err := ra.InCoreStateBytes(slice, ra.KernelAuto)
+	if err != nil {
+		return nil, nil, err
+	}
+	oracle := ra.Sequential{}
+	var base *ra.Result
+	baseWall := wallTime(func() { base, err = oracle.Solve(slice) })
+	if err != nil {
+		return nil, nil, err
+	}
+	oracleSum := dbChecksum(base)
+	t := stats.NewTable(
+		fmt.Sprintf("E15: out-of-core wave engine vs memory cap (awari-%d, %s positions, in-core state %s)",
+			env.Scale.Stones, stats.Count(slice.Size()), stats.Bytes(ic)),
+		"mem cap", "of in-core", "wall ms", "pos/s", "spills", "reloads", "spill written", "peak resident")
+	t.Kernel = base.Kernel
+	t.Row("(in-core)", "100%", baseWall.Milliseconds(),
+		stats.Count(uint64(float64(slice.Size())/baseWall.Seconds())), "-", "-", "-", stats.Bytes(ic))
+	var half *stats.Spill
+	for _, frac := range []uint64{1, 2, 4, 8} {
+		cap := ic / frac
+		dir, err := os.MkdirTemp("", "e15-spill-")
+		if err != nil {
+			return nil, nil, err
+		}
+		e := oocore.Engine{MemLimit: cap, Dir: dir}
+		var res *ra.Result
+		var st oocore.SpillStats
+		wall := wallTime(func() { res, st, err = e.SolveDetailed(slice) })
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cap %s: %w", stats.Bytes(cap), err)
+		}
+		if sum := dbChecksum(res); sum != oracleSum {
+			return nil, nil, fmt.Errorf("cap %s: database differs from the in-core oracle (checksums %016x vs %016x)",
+				stats.Bytes(cap), sum, oracleSum)
+		}
+		if res.Waves != base.Waves {
+			return nil, nil, fmt.Errorf("cap %s: %d waves, oracle took %d", stats.Bytes(cap), res.Waves, base.Waves)
+		}
+		t.Row(stats.Bytes(cap),
+			fmt.Sprintf("%d%%", 100/frac),
+			wall.Milliseconds(),
+			stats.Count(uint64(float64(slice.Size())/wall.Seconds())),
+			st.Spilled, st.Reloaded,
+			stats.Bytes(st.SpillBytesWritten),
+			stats.Bytes(st.PeakResidentBytes))
+		if frac == 2 {
+			half = &stats.Spill{
+				Blocks:            st.Blocks,
+				MemLimit:          st.MemLimit,
+				Spilled:           st.Spilled,
+				Reloaded:          st.Reloaded,
+				BytesWritten:      st.SpillBytesWritten,
+				PeakResidentBytes: st.PeakResidentBytes,
+			}
+		}
+	}
+	t.Note("every capped database is bit-identical to the in-core oracle (checksum %016x), same wave count", oracleSum)
+	t.Note("the cap governs per-position block state; queues, parked runs and the final table are uncapped")
+	t.Note("peak resident may exceed tiny caps by one pinned block (the block being expanded cannot spill under itself)")
+	return t, half, nil
+}
+
+// E15Smoke is the out-of-core acceptance gate for CI and `rabench
+// -oocore`: run the cap sweep at the given scale (the checksum
+// comparison is built in), render the table, and optionally write it as
+// a JSON document whose provenance carries the spill counters of the
+// half-footprint run.
+func E15Smoke(s Scale, w io.Writer, jsonPath string) error {
+	start := time.Now()
+	env, err := NewEnv(s, nil)
+	if err != nil {
+		return err
+	}
+	t, spill, err := e15Table(env)
+	if err != nil {
+		return err
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		prov := stats.Provenance{
+			Tool:       "rabench",
+			RavetSuite: analysis.Version,
+			Analyzers:  len(analysis.Suite()),
+			Spill:      spill,
+		}
+		if err := stats.WriteJSON(f, prov, []stats.NamedTable{{ID: "E15", Table: t}}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "E15 smoke OK: all caps bit-identical to the in-core oracle (%v wall)\n",
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}

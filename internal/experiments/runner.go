@@ -88,6 +88,7 @@ func RunAll(s Scale, w io.Writer, progress bool, csvDir, jsonPath string) error 
 		{"E8", E8RealWire},
 		{"E10", E10HotPath},
 		{"E14", E14SWAR},
+		{"E15", E15OutOfCore},
 		{"E12", E12Faults},
 		{"E13", E13Broker},
 		{"A1", A1Partition},

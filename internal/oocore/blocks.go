@@ -1,0 +1,377 @@
+package oocore
+
+import (
+	"container/list"
+	"fmt"
+
+	"retrograde/internal/game"
+	"retrograde/internal/ra"
+)
+
+// SpillStats describes how an out-of-core solve used the memory
+// hierarchy — the counters E15 sweeps against the memory cap.
+type SpillStats struct {
+	// Blocks is how many state blocks the rung was split into.
+	Blocks int
+	// BlockLen is the positions per block (the last block may be ragged).
+	BlockLen uint64
+	// MemLimit is the configured resident-state budget in bytes.
+	MemLimit uint64
+	// InCoreBytes is the state footprint a single in-core worker would
+	// hold — the baseline the cap is expressed against.
+	InCoreBytes uint64
+	// PeakResidentBytes is the high-water mark of resident block state.
+	// It can exceed MemLimit only by pinned blocks (the block being
+	// expanded or applied to cannot spill under itself).
+	PeakResidentBytes uint64
+	// Spilled counts block spills (pack + encode + atomic write).
+	Spilled uint64
+	// Reloaded counts block reloads (read + decode + restore).
+	Reloaded uint64
+	// SpillBytesWritten and SpillBytesRead are the compressed traffic to
+	// and from the spill store.
+	SpillBytesWritten uint64
+	SpillBytesRead    uint64
+	// PeakPendingRuns is the high-water mark of cross-block update runs
+	// parked for non-resident targets.
+	PeakPendingRuns uint64
+	// Checkpoints counts durable manifests written.
+	Checkpoints uint64
+	// Resumed reports whether the solve continued from an on-disk
+	// manifest instead of initialising from scratch.
+	Resumed bool
+}
+
+// block is one contiguous slice of the rung: a worker that is always
+// alive (queues, stats, and partition wiring stay in RAM) whose
+// per-position state array is the unit of spill and reload.
+type block struct {
+	idx   int
+	w     *ra.Worker
+	dirty bool // resident state differs from generation gen on disk
+	pins  int  // >0 while the engine is touching the state; never evicted
+	elem  *list.Element
+
+	gen         uint64 // newest complete spill generation on disk; 0 = none
+	manifestGen uint64 // generation the last durable manifest pins; 0 = none
+
+	// pending holds update runs routed here while the state was not
+	// resident; drained (applied) as soon as the block is loaded again,
+	// and at the latest in the wave-end flush phase.
+	pending []ra.UpdateRun
+}
+
+// blockManager owns residency: which blocks' state arrays are in core,
+// charged against an explicit byte budget with LRU eviction — the
+// serving cache's pin/budget policy turned to the solving side.
+type blockManager struct {
+	g      game.Game
+	part   *ra.Partition
+	kern   ra.Kernel
+	budget uint64
+	store  *spillStore
+
+	blocks []*block
+	lru    *list.List // *block entries; front = most recently loaded
+	used   uint64
+
+	pendingRuns uint64 // current total across all blocks' pending lists
+
+	// Codec scratch, sized to the largest shard so steady-state spill and
+	// reload traffic allocates nothing.
+	vals, meta []game.Value
+	enc        []byte
+
+	stats SpillStats
+}
+
+func newBlockManager(g game.Game, kern ra.Kernel, part *ra.Partition, budget uint64, store *spillStore) *blockManager {
+	nb := part.Workers()
+	m := &blockManager{
+		g:      g,
+		part:   part,
+		kern:   kern,
+		budget: budget,
+		store:  store,
+		blocks: make([]*block, nb),
+		lru:    list.New(),
+	}
+	maxShard := part.ShardSize(0) // block 0 is never the ragged tail
+	m.vals = make([]game.Value, maxShard)
+	m.meta = make([]game.Value, maxShard)
+	for i := range m.blocks {
+		m.blocks[i] = &block{idx: i}
+	}
+	m.stats.Blocks = nb
+	m.stats.BlockLen = part.Group()
+	m.stats.MemLimit = budget
+	return m
+}
+
+// initFresh builds and initialises every block's worker, evicting ahead
+// of each construction so initialisation itself runs under the cap.
+func (m *blockManager) initFresh() error {
+	for _, b := range m.blocks {
+		need := m.part.ShardSize(b.idx) * m.bytesPerPosition()
+		if err := m.makeRoom(need); err != nil {
+			return err
+		}
+		w, err := ra.NewWorkerKernel(m.g, m.part, b.idx, m.kern)
+		if err != nil {
+			return err
+		}
+		b.w = w
+		m.charge(b)
+		b.elem = m.lru.PushFront(b)
+		if _, err := w.Init(); err != nil {
+			return err
+		}
+		b.dirty = true
+	}
+	return nil
+}
+
+func (m *blockManager) bytesPerPosition() uint64 {
+	if m.kern == ra.KernelSWAR {
+		return ra.LaneBytesPerPosition
+	}
+	return ra.StateBytesPerPosition
+}
+
+func (m *blockManager) pin(b *block)   { b.pins++ }
+func (m *blockManager) unpin(b *block) { b.pins-- }
+
+func (m *blockManager) charge(b *block) {
+	m.used += b.w.StateBytes()
+	if m.used > m.stats.PeakResidentBytes {
+		m.stats.PeakResidentBytes = m.used
+	}
+}
+
+// ensureResident makes b's state array live, reloading it from the spill
+// store (and evicting colder blocks first) when it was spilled. Residency
+// is only re-ranked here — applying updates to an already-resident block
+// does not touch the LRU, so the replacement order is deterministic.
+func (m *blockManager) ensureResident(b *block) error {
+	if b.w.StateResident() {
+		m.lru.MoveToFront(b.elem)
+		return nil
+	}
+	if err := m.makeRoom(b.w.StateBytes()); err != nil {
+		return err
+	}
+	if err := m.load(b); err != nil {
+		return err
+	}
+	m.charge(b)
+	b.elem = m.lru.PushFront(b)
+	return nil
+}
+
+// makeRoom evicts least-recently-loaded unpinned blocks until need more
+// bytes fit under the budget. When only pinned blocks remain the budget
+// is allowed to overflow — the cache's pinned-overflow policy — so any
+// positive cap still makes progress.
+func (m *blockManager) makeRoom(need uint64) error {
+	for e := m.lru.Back(); e != nil && m.used+need > m.budget; {
+		b := e.Value.(*block)
+		e = e.Prev()
+		if b.pins > 0 {
+			continue
+		}
+		if err := m.evict(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *blockManager) evict(b *block) error {
+	if b.dirty {
+		if err := m.spill(b); err != nil {
+			return err
+		}
+	}
+	m.used -= b.w.StateBytes()
+	m.lru.Remove(b.elem)
+	b.elem = nil
+	b.w.DropState()
+	return nil
+}
+
+// spill writes b's state to the next on-disk generation. The block stays
+// resident and is clean afterwards; the superseded generation is deleted
+// unless the last durable manifest still pins it.
+func (m *blockManager) spill(b *block) error {
+	n := b.w.ShardSize()
+	vals, meta := m.vals[:n], m.meta[:n]
+	b.w.PackState(vals, meta)
+	enc, err := encodeSpill(m.enc[:0], b.idx, m.kern, vals, meta)
+	if err != nil {
+		return err
+	}
+	m.enc = enc
+	if err := m.store.write(b.idx, b.gen+1, enc); err != nil {
+		return err
+	}
+	old := b.gen
+	b.gen++
+	b.dirty = false
+	if old != 0 && old != b.manifestGen {
+		m.store.remove(b.idx, old)
+	}
+	m.stats.Spilled++
+	m.stats.SpillBytesWritten += uint64(len(enc))
+	return nil
+}
+
+// spillAllDirty makes the on-disk image of every block current — the
+// durability barrier a manifest write needs. Resident blocks stay
+// resident.
+func (m *blockManager) spillAllDirty() error {
+	for _, b := range m.blocks {
+		if b.w.StateResident() && b.dirty {
+			if err := m.spill(b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// retireManifestPins moves the manifest pin of every block to its current
+// generation and deletes generations only the previous manifest kept
+// alive. Called after a manifest write lands.
+func (m *blockManager) retireManifestPins() {
+	for _, b := range m.blocks {
+		if b.manifestGen != 0 && b.manifestGen != b.gen {
+			m.store.remove(b.idx, b.manifestGen)
+		}
+		b.manifestGen = b.gen
+	}
+}
+
+func (m *blockManager) load(b *block) error {
+	data, path, err := m.store.read(b.idx, b.gen)
+	if err != nil {
+		return err
+	}
+	blk, kern, vals, meta, err := decodeSpill(path, data, m.vals, m.meta)
+	if err != nil {
+		return err
+	}
+	m.vals, m.meta = vals, meta
+	if blk != b.idx {
+		return corrupt(path, "holds block %d, want %d", blk, b.idx)
+	}
+	if kern != m.kern {
+		return corrupt(path, "written by the %v kernel, want %v", kern, m.kern)
+	}
+	if uint64(len(vals)) != b.w.ShardSize() {
+		return corrupt(path, "holds %d positions, want %d", len(vals), b.w.ShardSize())
+	}
+	if err := b.w.RestoreState(vals, meta); err != nil {
+		return corrupt(path, "%v", err)
+	}
+	m.stats.Reloaded++
+	m.stats.SpillBytesRead += uint64(len(data))
+	return nil
+}
+
+// notePending accounts n update runs parked on a non-resident block.
+func (m *blockManager) notePending(n uint64) {
+	m.pendingRuns += n
+	if m.pendingRuns > m.stats.PeakPendingRuns {
+		m.stats.PeakPendingRuns = m.pendingRuns
+	}
+}
+
+// drainPending applies every parked update run to b, which must be
+// resident. Order within a wave is irrelevant to the result (updates
+// commute), so parking and draining keeps the database bit-identical to
+// an in-core solve.
+func (m *blockManager) drainPending(b *block) {
+	if len(b.pending) == 0 {
+		return
+	}
+	for _, run := range b.pending {
+		b.w.ApplyRun(run)
+	}
+	m.pendingRuns -= uint64(len(b.pending))
+	b.pending = b.pending[:0]
+	b.dirty = true
+}
+
+// restore rebuilds every block from a validated manifest: workers come
+// back with their queues, stats and spill generations, state stays on
+// disk until first touch.
+func (m *blockManager) restore(mf *manifest, path string) error {
+	for i, b := range m.blocks {
+		mb := &mf.blocks[i]
+		w, err := ra.NewWorkerKernel(m.g, m.part, i, m.kern)
+		if err != nil {
+			return err
+		}
+		w.DropState()
+		n := w.ShardSize()
+		if mb.stats.Positions != n {
+			return corrupt(path, "block %d records %d positions, want %d", i, mb.stats.Positions, n)
+		}
+		if mb.gen == 0 {
+			return corrupt(path, "block %d has no pinned spill generation", i)
+		}
+		for _, q := range [][]uint64{mb.queue, mb.next, mb.loopy} {
+			for _, l := range q {
+				if l >= n {
+					return corrupt(path, "block %d queues local index %d beyond shard size %d", i, l, n)
+				}
+			}
+		}
+		base := m.part.Global(i, 0)
+		for _, run := range mb.pending {
+			if run.Base < base || run.Base+uint64(run.Count) > base+n {
+				return corrupt(path, "block %d pending run [%d,+%d) outside shard [%d,+%d)", i, run.Base, run.Count, base, n)
+			}
+		}
+		w.SetFrontier(mb.queue, mb.next, mb.loopy)
+		w.Stats = mb.stats
+		b.w = w
+		b.gen = mb.gen
+		b.manifestGen = mb.gen
+		b.dirty = false
+		b.pending = mb.pending
+		m.notePending(uint64(len(mb.pending)))
+	}
+	m.stats.Resumed = true
+	return nil
+}
+
+// manifestSnapshot captures the blocks' durable state for a manifest
+// write; every block must be clean (spillAllDirty first).
+func (m *blockManager) manifestSnapshot(waves uint64) (*manifest, error) {
+	mf := &manifest{
+		size:     m.part.Size(),
+		kernel:   m.kern,
+		blockLen: m.part.Group(),
+		waves:    waves,
+		blocks:   make([]manifestBlock, len(m.blocks)),
+	}
+	for i, b := range m.blocks {
+		if b.dirty {
+			return nil, fmt.Errorf("oocore: manifest snapshot of dirty block %d", i)
+		}
+		if b.gen == 0 {
+			return nil, fmt.Errorf("oocore: manifest snapshot of block %d with no spill generation", i)
+		}
+		queue, next, loopy := b.w.Frontier()
+		mf.blocks[i] = manifestBlock{
+			gen:     b.gen,
+			stats:   b.w.Stats,
+			queue:   queue,
+			next:    next,
+			loopy:   loopy,
+			pending: b.pending,
+		}
+	}
+	return mf, nil
+}

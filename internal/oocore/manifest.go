@@ -1,0 +1,290 @@
+package oocore
+
+import (
+	"encoding/binary"
+	"hash/crc64"
+	"io"
+	"os"
+
+	"retrograde/internal/game"
+	"retrograde/internal/ra"
+)
+
+// The manifest is the durable root of an out-of-core solve: which spill
+// generation of every block is current, plus everything about the solve
+// that is not per-position state (wave count, per-block frontiers, work
+// counters, parked cross-block runs). It is written atomically after a
+// spillAllDirty barrier, so the pair (manifest, pinned block files) is
+// always a consistent wave boundary: a crash mid-wave leaves newer
+// unpinned generations behind, and resume simply ignores them.
+//
+// Layout (little-endian), crc64/ECMA over everything, stored in the
+// trailing 8 bytes:
+//
+//	magic "RAOM", version u32
+//	size u64, kernel u8, blockLen u64, numBlocks u32, waves u64
+//	per block:
+//	  gen u64
+//	  worker stats (9 × u64, WorkerStats field order)
+//	  queue, next, loopy: count u64, then count × u64 local indices
+//	  pending: count u64, then count × (base u64, count u32, value u16)
+const (
+	manifestName    = "oocore.manifest"
+	manifestMagic   = "RAOM"
+	manifestVersion = 1
+)
+
+type manifestBlock struct {
+	gen                uint64
+	stats              ra.WorkerStats
+	queue, next, loopy []uint64
+	pending            []ra.UpdateRun
+}
+
+type manifest struct {
+	size     uint64
+	kernel   ra.Kernel
+	blockLen uint64
+	waves    uint64
+	blocks   []manifestBlock
+}
+
+func statsWords(s *ra.WorkerStats) [9]uint64 {
+	return [9]uint64{
+		s.Positions, s.InitFinal, s.MovesGenerated,
+		s.Expanded, s.PredsGenerated, s.UpdatesApplied,
+		s.UpdatesStale, s.Finalized, s.LoopResolved,
+	}
+}
+
+func statsFromWords(w [9]uint64) ra.WorkerStats {
+	return ra.WorkerStats{
+		Positions: w[0], InitFinal: w[1], MovesGenerated: w[2],
+		Expanded: w[3], PredsGenerated: w[4], UpdatesApplied: w[5],
+		UpdatesStale: w[6], Finalized: w[7], LoopResolved: w[8],
+	}
+}
+
+// writeManifest writes the manifest atomically: crash-at-any-instant
+// leaves either the previous manifest or the complete new one.
+func writeManifest(path string, mf *manifest) error {
+	return ra.WriteFileAtomic(path, func(out io.Writer) error {
+		sw := &sumWriter{w: out}
+		buf := make([]byte, 0, 256)
+		buf = append(buf, manifestMagic...)
+		buf = binary.LittleEndian.AppendUint32(buf, manifestVersion)
+		buf = binary.LittleEndian.AppendUint64(buf, mf.size)
+		buf = append(buf, byte(mf.kernel))
+		buf = binary.LittleEndian.AppendUint64(buf, mf.blockLen)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(mf.blocks)))
+		buf = binary.LittleEndian.AppendUint64(buf, mf.waves)
+		if _, err := sw.Write(buf); err != nil {
+			return err
+		}
+		for i := range mf.blocks {
+			mb := &mf.blocks[i]
+			buf = buf[:0]
+			buf = binary.LittleEndian.AppendUint64(buf, mb.gen)
+			for _, w := range statsWords(&mb.stats) {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+			for _, q := range [][]uint64{mb.queue, mb.next, mb.loopy} {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(len(q)))
+				for _, l := range q {
+					buf = binary.LittleEndian.AppendUint64(buf, l)
+				}
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(len(mb.pending)))
+			for _, run := range mb.pending {
+				buf = binary.LittleEndian.AppendUint64(buf, run.Base)
+				buf = binary.LittleEndian.AppendUint32(buf, run.Count)
+				buf = binary.LittleEndian.AppendUint16(buf, uint16(run.Value))
+			}
+			if _, err := sw.Write(buf); err != nil {
+				return err
+			}
+		}
+		var tail [8]byte
+		binary.LittleEndian.PutUint64(tail[:], sw.sum)
+		_, err := out.Write(tail[:])
+		return err
+	})
+}
+
+// readManifest loads and fully validates a manifest. A missing file
+// returns an error satisfying errors.Is(err, os.ErrNotExist); any
+// malformed content returns a *CorruptSpillError.
+func readManifest(path string) (*manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 8 {
+		return nil, corrupt(path, "truncated: %d bytes", len(data))
+	}
+	body := data[:len(data)-8]
+	if got, want := crc64.Checksum(body, crcTab), binary.LittleEndian.Uint64(data[len(data)-8:]); got != want {
+		return nil, corrupt(path, "checksum mismatch: computed %016x, stored %016x", got, want)
+	}
+	r := &byteReader{data: body, path: path}
+	if string(r.bytes(4)) != manifestMagic {
+		return nil, corrupt(path, "bad magic")
+	}
+	if v := r.u32(); r.err == nil && v != manifestVersion {
+		return nil, corrupt(path, "unsupported version %d", v)
+	}
+	mf := &manifest{}
+	mf.size = r.u64()
+	mf.kernel = ra.Kernel(r.u8())
+	mf.blockLen = r.u64()
+	nb := r.u32()
+	mf.waves = r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if mf.kernel != ra.KernelScalar && mf.kernel != ra.KernelSWAR {
+		return nil, corrupt(path, "unknown kernel %d", mf.kernel)
+	}
+	if mf.blockLen == 0 {
+		return nil, corrupt(path, "zero block length")
+	}
+	if nb == 0 || uint64(nb) > (mf.size+mf.blockLen-1)/mf.blockLen+1 {
+		return nil, corrupt(path, "implausible block count %d for size %d", nb, mf.size)
+	}
+	mf.blocks = make([]manifestBlock, nb)
+	for i := range mf.blocks {
+		mb := &mf.blocks[i]
+		mb.gen = r.u64()
+		var words [9]uint64
+		for j := range words {
+			words[j] = r.u64()
+		}
+		mb.stats = statsFromWords(words)
+		mb.queue = r.u64s()
+		mb.next = r.u64s()
+		mb.loopy = r.u64s()
+		mb.pending = r.runs()
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	if len(r.data) != r.off {
+		return nil, corrupt(path, "%d trailing bytes", len(r.data)-r.off)
+	}
+	return mf, nil
+}
+
+// sumWriter mirrors the checkpoint writer: everything written through it
+// feeds the running crc64 that the caller appends last.
+type sumWriter struct {
+	w   io.Writer
+	sum uint64
+}
+
+func (s *sumWriter) Write(p []byte) (int, error) {
+	s.sum = crc64.Update(s.sum, crcTab, p)
+	return s.w.Write(p)
+}
+
+// byteReader cursors over a manifest body with sticky errors, so decode
+// reads like straight-line code and any overrun or implausible length
+// surfaces as one CorruptSpillError.
+type byteReader struct {
+	data []byte
+	off  int
+	path string
+	err  error
+}
+
+func (r *byteReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = corrupt(r.path, format, args...)
+	}
+}
+
+func (r *byteReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.data) {
+		r.fail("truncated at offset %d (need %d bytes)", r.off, n)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *byteReader) u8() uint8 {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// u64s reads a length-prefixed index list. The length is bounded by the
+// bytes actually remaining, so a garbled length cannot provoke an
+// arbitrary allocation.
+func (r *byteReader) u64s() []uint64 {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.off)/8 {
+		r.fail("list of %d entries exceeds remaining %d bytes", n, len(r.data)-r.off)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.u64()
+	}
+	return out
+}
+
+func (r *byteReader) runs() []ra.UpdateRun {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	const runBytes = 14
+	if n > uint64(len(r.data)-r.off)/runBytes {
+		r.fail("run list of %d entries exceeds remaining %d bytes", n, len(r.data)-r.off)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]ra.UpdateRun, n)
+	for i := range out {
+		b := r.bytes(runBytes)
+		if b == nil {
+			return nil
+		}
+		out[i] = ra.UpdateRun{
+			Base:  binary.LittleEndian.Uint64(b),
+			Count: binary.LittleEndian.Uint32(b[8:]),
+			Value: game.Value(binary.LittleEndian.Uint16(b[12:])),
+		}
+	}
+	return out
+}

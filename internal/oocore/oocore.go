@@ -1,0 +1,357 @@
+// Package oocore implements the out-of-core solving tier: retrograde
+// analysis whose resident per-position state is capped at an explicit
+// byte budget, far below the rung's in-core footprint. The rung is split
+// into contiguous blocks, each backed by the ordinary worker state
+// machine; a block's state array is the unit of residency, spilled to
+// disk zdb-compressed when cold and reloaded on demand (LRU with pins,
+// the serving cache's policy). Cross-block updates that target a spilled
+// block are parked run-encoded and drained when the block is next
+// resident — updates within a wave commute, so the database, wave count
+// and loop set stay bit-identical to the in-core engines.
+//
+// Spills double as checkpoints: a periodic manifest pins one complete
+// generation of every block plus the solve's frontier, so an interrupted
+// run — crash, power loss, deliberate pause — resumes from the last wave
+// boundary for free. This is the scale-out answer to the paper's ">600
+// MByte on a uniprocessor" problem on a single machine: trade memory for
+// spill-store bandwidth instead of for cluster nodes.
+package oocore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"retrograde/internal/game"
+	"retrograde/internal/ra"
+)
+
+// DefaultCheckpointEvery is the wave interval between durable manifests
+// when the Engine does not pin one.
+const DefaultCheckpointEvery = 8
+
+func init() {
+	ra.RegisterOutOfCore(func(cfg ra.Config) ra.Engine {
+		return Engine{MemLimit: cfg.MemLimit, Dir: cfg.SpillDir, Kernel: cfg.Kernel}
+	})
+}
+
+// Engine is the out-of-core solver. MemLimit and Dir are required; the
+// zero values of everything else pick sensible defaults.
+type Engine struct {
+	// MemLimit caps resident per-position block state, in bytes. Pinned
+	// blocks (the block being expanded or landed on) may push usage over
+	// the cap momentarily, so any positive cap makes progress; the
+	// effective floor is two blocks. The cap governs block state only —
+	// queues, parked runs and the final Result are the caller's memory.
+	MemLimit uint64
+	// Dir is the spill and checkpoint directory. A manifest left in it by
+	// an interrupted run resumes that run; a completed solve clears it
+	// unless KeepStore is set.
+	Dir string
+	// Kernel pins the wave kernel; KernelAuto resolves per game.
+	Kernel ra.Kernel
+	// BlockLen overrides positions per block. 0 sizes blocks so the rung
+	// splits into ~32, keeping tiny test rungs spillable (see
+	// autoBlockLen).
+	BlockLen uint64
+	// CheckpointEvery is the wave interval between durable manifests;
+	// 0 means DefaultCheckpointEvery, negative disables periodic
+	// manifests (one is still written when pausing).
+	CheckpointEvery int
+	// StopAfterWaves > 0 checkpoints and returns ra.ErrPaused after that
+	// many additional waves — the crash-drill and budgeted-run hook.
+	StopAfterWaves int
+	// KeepStore leaves the spill files and manifest in place after a
+	// completed solve instead of deleting them.
+	KeepStore bool
+
+	// failSpillAfter > 0 injects errSimulatedCrash on the N-th spill
+	// write — the crash-recovery tests' failpoint.
+	failSpillAfter int
+}
+
+// Name implements ra.Engine.
+func (e Engine) Name() string {
+	return fmt.Sprintf("out-of-core(cap=%d)", e.MemLimit)
+}
+
+// Solve implements ra.Engine.
+func (e Engine) Solve(g game.Game) (*ra.Result, error) {
+	r, _, err := e.SolveDetailed(g)
+	return r, err
+}
+
+// autoBlockLen picks positions per block when the Engine does not: about
+// 1/32 of the rung, rounded up to a multiple of 64 so SWAR word loops see
+// aligned interiors, clamped so tiny rungs still split into several
+// spillable blocks and huge rungs keep bounded per-block codec scratch.
+func autoBlockLen(size uint64) uint64 {
+	bl := (size + 31) / 32
+	bl = (bl + 63) &^ 63
+	if bl < 64 {
+		bl = 64
+	}
+	if bl > 1<<16 {
+		bl = 1 << 16
+	}
+	return bl
+}
+
+// SolveDetailed is Solve plus the spill counters E15 reports. On
+// ra.ErrPaused the returned stats describe the partial run; the result
+// is nil until a later call completes the solve.
+func (e Engine) SolveDetailed(g game.Game) (*ra.Result, SpillStats, error) {
+	var none SpillStats
+	if e.MemLimit == 0 {
+		return nil, none, fmt.Errorf("oocore: MemLimit must be positive")
+	}
+	if e.Dir == "" {
+		return nil, none, fmt.Errorf("oocore: spill directory is required")
+	}
+	kern, err := ra.ResolveKernel(g, e.Kernel)
+	if err != nil {
+		return nil, none, err
+	}
+	size := g.Size()
+	blockLen := e.BlockLen
+	if blockLen == 0 {
+		blockLen = autoBlockLen(size)
+	}
+	nb := int((size + blockLen - 1) / blockLen)
+	if nb < 1 {
+		nb = 1
+	}
+	part, err := ra.NewPartition(size, nb, blockLen)
+	if err != nil {
+		return nil, none, err
+	}
+	if err := os.MkdirAll(e.Dir, 0o755); err != nil {
+		return nil, none, fmt.Errorf("oocore: creating spill directory: %w", err)
+	}
+	store := &spillStore{dir: e.Dir, failAfter: e.failSpillAfter}
+	m := newBlockManager(g, kern, part, e.MemLimit, store)
+	m.stats.InCoreBytes, _ = ra.InCoreStateBytes(g, kern)
+
+	mpath := filepath.Join(e.Dir, manifestName)
+	waves := 0
+	mf, err := readManifest(mpath)
+	switch {
+	case err == nil:
+		if mf.size != size || mf.kernel != kern || mf.blockLen != blockLen || len(mf.blocks) != nb {
+			return nil, none, corrupt(mpath,
+				"manifest describes size=%d kernel=%v blockLen=%d blocks=%d; this solve is size=%d kernel=%v blockLen=%d blocks=%d",
+				mf.size, mf.kernel, mf.blockLen, len(mf.blocks), size, kern, blockLen, nb)
+		}
+		if err := m.restore(mf, mpath); err != nil {
+			return nil, m.stats, err
+		}
+		waves = int(mf.waves)
+	case errors.Is(err, os.ErrNotExist):
+		if err := m.initFresh(); err != nil {
+			return nil, m.stats, err
+		}
+	default:
+		return nil, none, err
+	}
+
+	rt := newRouter(m)
+	var emitRun func(owner int, r ra.UpdateRun)
+	var emitUpd func(owner int, u ra.Update)
+	if kern == ra.KernelSWAR {
+		emitRun = func(owner int, run ra.UpdateRun) {
+			tb := m.blocks[owner]
+			if tb.w.StateResident() {
+				tb.w.ApplyRun(run)
+				tb.dirty = true
+				return
+			}
+			rt.addRun(owner, run)
+		}
+	} else {
+		emitUpd = func(owner int, u ra.Update) {
+			tb := m.blocks[owner]
+			if tb.w.StateResident() {
+				tb.w.Apply(u)
+				tb.dirty = true
+				return
+			}
+			rt.addUpdate(owner, u)
+		}
+	}
+
+	every := e.CheckpointEvery
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+	checkpoint := func() error {
+		if err := m.spillAllDirty(); err != nil {
+			return err
+		}
+		mf, err := m.manifestSnapshot(uint64(waves))
+		if err != nil {
+			return err
+		}
+		if err := writeManifest(mpath, mf); err != nil {
+			return err
+		}
+		m.retireManifestPins()
+		m.stats.Checkpoints++
+		return nil
+	}
+
+	// The wave loop of the sequential engine, lifted over blocks. Wave
+	// boundaries are global: every block's BeginWave runs before any
+	// block expands, and the router's flush is the end-of-wave barrier,
+	// so finalisation waves match the in-core engines exactly.
+	queued := make([]int, nb)
+	ran := 0
+	for {
+		total := 0
+		for i, b := range m.blocks {
+			queued[i] = b.w.BeginWave()
+			total += queued[i]
+		}
+		if total == 0 {
+			break
+		}
+		waves++
+		ran++
+		for i, b := range m.blocks {
+			if queued[i] == 0 && len(b.pending) == 0 {
+				continue
+			}
+			m.pin(b)
+			if err := m.ensureResident(b); err != nil {
+				m.unpin(b)
+				return nil, m.stats, err
+			}
+			m.drainPending(b)
+			if queued[i] > 0 {
+				if kern == ra.KernelSWAR {
+					b.w.ExpandRuns(0, emitRun)
+				} else {
+					b.w.ExpandLocal(0, b.w.Apply, emitUpd)
+				}
+				b.dirty = true
+			}
+			m.unpin(b)
+		}
+		rt.flushAll()
+		for _, b := range m.blocks {
+			if len(b.pending) == 0 {
+				continue
+			}
+			m.pin(b)
+			if err := m.ensureResident(b); err != nil {
+				m.unpin(b)
+				return nil, m.stats, err
+			}
+			m.drainPending(b)
+			m.unpin(b)
+		}
+		if every > 0 && waves%every == 0 {
+			if err := checkpoint(); err != nil {
+				return nil, m.stats, err
+			}
+		}
+		if e.StopAfterWaves > 0 && ran >= e.StopAfterWaves {
+			if err := checkpoint(); err != nil {
+				return nil, m.stats, err
+			}
+			return nil, m.stats, ra.ErrPaused
+		}
+	}
+
+	// Quiescence: resolve loops and assemble the result block by block in
+	// one residency pass each.
+	var loops uint64
+	values := make([]game.Value, size)
+	loopBits := make([]uint64, (size+63)/64)
+	workers := make([]ra.WorkerStats, nb)
+	for i, b := range m.blocks {
+		m.pin(b)
+		if err := m.ensureResident(b); err != nil {
+			m.unpin(b)
+			return nil, m.stats, err
+		}
+		loops += b.w.ResolveLoops()
+		b.dirty = true
+		b.w.Fill(values)
+		b.w.FillLoop(loopBits)
+		workers[i] = b.w.Stats
+		m.unpin(b)
+	}
+	if !e.KeepStore {
+		if err := store.clear(); err != nil {
+			return nil, m.stats, err
+		}
+	}
+	return &ra.Result{
+		Values:        values,
+		Waves:         waves,
+		LoopPositions: loops,
+		Loop:          loopBits,
+		Workers:       workers,
+		Kernel:        kern.String(),
+	}, m.stats, nil
+}
+
+// StoreInfo summarises an on-disk spill store — what rastats -spill
+// prints.
+type StoreInfo struct {
+	Dir         string
+	BlockFiles  int    // spill block files present (all generations)
+	SpillBytes  uint64 // their total size
+	HasManifest bool
+	// Manifest header fields, valid when HasManifest:
+	Size     uint64
+	Kernel   string
+	BlockLen uint64
+	Blocks   int
+	Waves    uint64
+	Pending  uint64 // parked cross-block runs recorded in the manifest
+}
+
+// InspectDir summarises the spill store under dir without touching it.
+func InspectDir(dir string) (StoreInfo, error) {
+	info := StoreInfo{Dir: dir}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return info, fmt.Errorf("oocore: inspecting spill store: %w", err)
+	}
+	for _, ent := range ents {
+		if !ent.Type().IsRegular() {
+			continue
+		}
+		name := ent.Name()
+		if !strings.HasPrefix(name, "block-") || !strings.HasSuffix(name, spillSuffix) {
+			continue
+		}
+		fi, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		info.BlockFiles++
+		info.SpillBytes += uint64(fi.Size())
+	}
+	mf, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return info, nil
+		}
+		return info, err
+	}
+	info.HasManifest = true
+	info.Size = mf.size
+	info.Kernel = mf.kernel.String()
+	info.BlockLen = mf.blockLen
+	info.Blocks = len(mf.blocks)
+	info.Waves = mf.waves
+	for i := range mf.blocks {
+		info.Pending += uint64(len(mf.blocks[i].pending))
+	}
+	return info, nil
+}

@@ -1,0 +1,417 @@
+package oocore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"retrograde/internal/awari"
+	"retrograde/internal/game"
+	"retrograde/internal/ladder"
+	"retrograde/internal/nim"
+	"retrograde/internal/ra"
+	"retrograde/internal/ttt"
+)
+
+// compareResults requires two results to describe the same database —
+// the bit-identity gate every out-of-core configuration must pass
+// against the in-core oracle.
+func compareResults(t *testing.T, label string, want, got *ra.Result) {
+	t.Helper()
+	if len(got.Values) != len(want.Values) {
+		t.Fatalf("%s: length mismatch: %d vs %d", label, len(want.Values), len(got.Values))
+	}
+	for i := range want.Values {
+		if got.Values[i] != want.Values[i] {
+			t.Fatalf("%s: values differ at %d: %d vs %d", label, i, want.Values[i], got.Values[i])
+		}
+	}
+	for i := range want.Loop {
+		if got.Loop[i] != want.Loop[i] {
+			t.Fatalf("%s: loop bitsets differ at word %d", label, i)
+		}
+	}
+	if got.Waves != want.Waves {
+		t.Errorf("%s: waves %d vs %d", label, want.Waves, got.Waves)
+	}
+	if got.LoopPositions != want.LoopPositions {
+		t.Errorf("%s: loop positions %d vs %d", label, want.LoopPositions, got.LoopPositions)
+	}
+}
+
+// TestOutOfCoreParityAwari is the acceptance gate over a cyclic,
+// SWAR-eligible game: every rung of an awari ladder must solve
+// bit-identically to the in-core sequential oracle under both kernels
+// and under memory caps down to a sliver of the in-core footprint, with
+// spill traffic actually happening once the cap is below the footprint.
+func TestOutOfCoreParityAwari(t *testing.T) {
+	lad, err := ladder.Build(ladder.Config{Rules: awari.Standard, Loop: awari.LoopOwnSide}, 6,
+		ra.Sequential{Config: ra.Config{Kernel: ra.KernelScalar}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 3; n <= lad.MaxStones(); n++ {
+		g := lad.Slice(n)
+		want := lad.Result(n)
+		for _, kern := range []ra.Kernel{ra.KernelScalar, ra.KernelSWAR} {
+			ic, err := ra.InCoreStateBytes(g, kern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, frac := range []uint64{1, 2, 8} {
+				cap := ic / frac
+				if cap == 0 {
+					cap = 1
+				}
+				e := Engine{
+					MemLimit: cap,
+					Dir:      t.TempDir(),
+					Kernel:   kern,
+				}
+				got, st, err := e.SolveDetailed(g)
+				if err != nil {
+					t.Fatalf("%s %v cap=%d: %v", g.Name(), kern, cap, err)
+				}
+				label := g.Name() + " " + kern.String()
+				compareResults(t, label, want, got)
+				if frac >= 2 && st.Spilled == 0 && st.Blocks > 1 {
+					t.Errorf("%s cap=%d/%d: no spill traffic below the in-core footprint", label, cap, ic)
+				}
+				if st.PeakResidentBytes == 0 {
+					t.Errorf("%s: zero peak resident bytes", label)
+				}
+			}
+		}
+	}
+}
+
+// TestOutOfCoreParityScalarGames covers the scalar-kernel update path
+// (per-update routing with run coalescing) on wide-valued games.
+func TestOutOfCoreParityScalarGames(t *testing.T) {
+	for _, g := range []game.Game{ttt.New(), nim.MustNew(3, 4)} {
+		want, err := ra.Sequential{}.Solve(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic, err := ra.InCoreStateBytes(g, ra.KernelAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cap := range []uint64{ic, ic/2 + 1, ic / 5} {
+			if cap == 0 {
+				cap = 1
+			}
+			e := Engine{MemLimit: cap, Dir: t.TempDir()}
+			got, st, err := e.SolveDetailed(g)
+			if err != nil {
+				t.Fatalf("%s cap=%d: %v", g.Name(), cap, err)
+			}
+			compareResults(t, g.Name(), want, got)
+			if got.Kernel != "scalar" {
+				t.Fatalf("%s: kernel %q, want scalar", g.Name(), got.Kernel)
+			}
+			if cap < ic && st.Spilled == 0 {
+				t.Errorf("%s cap=%d: no spill traffic below the in-core footprint %d", g.Name(), cap, ic)
+			}
+		}
+	}
+}
+
+// TestOutOfCorePauseResume drives a solve one wave at a time through
+// StopAfterWaves: every intermediate call must return ra.ErrPaused with
+// a durable manifest behind it, and the final call must complete to a
+// database bit-identical to the uninterrupted solve.
+func TestOutOfCorePauseResume(t *testing.T) {
+	g := ttt.New()
+	want, err := ra.Sequential{}.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, _ := ra.InCoreStateBytes(g, ra.KernelAuto)
+	dir := t.TempDir()
+	e := Engine{MemLimit: ic / 3, Dir: dir, StopAfterWaves: 1}
+	var got *ra.Result
+	pauses := 0
+	for i := 0; i < want.Waves+2; i++ {
+		r, st, err := e.SolveDetailed(g)
+		if errors.Is(err, ra.ErrPaused) {
+			pauses++
+			if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+				t.Fatalf("pause %d left no manifest: %v", pauses, err)
+			}
+			if pauses > 1 && !st.Resumed {
+				t.Fatalf("pause %d did not resume from the manifest", pauses)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = r
+		break
+	}
+	if got == nil {
+		t.Fatalf("solve never completed after %d pauses", pauses)
+	}
+	if pauses != want.Waves {
+		t.Errorf("paused %d times, want one per wave = %d", pauses, want.Waves)
+	}
+	compareResults(t, "paused tictactoe", want, got)
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("completed solve left the manifest behind (err=%v)", err)
+	}
+}
+
+// TestOutOfCoreCrashResume kills a solve mid-wave via the spill-store
+// failpoint — after checkpoints exist and with newer unpinned spill
+// generations on disk — and requires the resumed solve to land on the
+// bit-identical database. This is the crash-consistency contract: the
+// manifest pins complete generations, everything newer is ignorable.
+func TestOutOfCoreCrashResume(t *testing.T) {
+	g := ttt.New()
+	want, err := ra.Sequential{}.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, _ := ra.InCoreStateBytes(g, ra.KernelAuto)
+	resumes := 0
+	for _, failAt := range []int{1, 7, 60, 120, 180} {
+		dir := t.TempDir()
+		crash := Engine{
+			MemLimit:        ic / 4,
+			Dir:             dir,
+			CheckpointEvery: 1,
+			failSpillAfter:  failAt,
+		}
+		_, _, err := crash.SolveDetailed(g)
+		if err == nil {
+			// The solve finished before the failpoint; later points only
+			// get farther away.
+			break
+		}
+		if !errors.Is(err, errSimulatedCrash) {
+			t.Fatalf("failAt=%d: crash run returned %v, want simulated crash", failAt, err)
+		}
+		// The contract: a manifest on disk means the run resumes from it;
+		// no manifest (crash before the first checkpoint) means a clean
+		// restart. Either way the database comes out bit-identical.
+		_, statErr := os.Stat(filepath.Join(dir, manifestName))
+		hadManifest := statErr == nil
+		resume := Engine{MemLimit: ic / 4, Dir: dir, CheckpointEvery: 1}
+		got, st, err := resume.SolveDetailed(g)
+		if err != nil {
+			t.Fatalf("failAt=%d: resume: %v", failAt, err)
+		}
+		if st.Resumed != hadManifest {
+			t.Errorf("failAt=%d: resumed=%v with manifest present=%v", failAt, st.Resumed, hadManifest)
+		}
+		if st.Resumed {
+			resumes++
+		}
+		compareResults(t, "crash-resumed tictactoe", want, got)
+	}
+	if resumes == 0 {
+		t.Error("no crash point landed after a checkpoint; the resume path went unexercised")
+	}
+}
+
+// TestOutOfCoreResumeMismatch: a manifest from a different configuration
+// must be rejected as corrupt, not silently reinterpreted.
+func TestOutOfCoreResumeMismatch(t *testing.T) {
+	g := ttt.New()
+	ic, _ := ra.InCoreStateBytes(g, ra.KernelAuto)
+	dir := t.TempDir()
+	e := Engine{MemLimit: ic, Dir: dir, StopAfterWaves: 1, BlockLen: 128}
+	if _, _, err := e.SolveDetailed(g); !errors.Is(err, ra.ErrPaused) {
+		t.Fatalf("pause run: %v", err)
+	}
+	other := Engine{MemLimit: ic, Dir: dir, BlockLen: 256}
+	_, _, err := other.SolveDetailed(g)
+	var ce *CorruptSpillError
+	if !errors.As(err, &ce) {
+		t.Fatalf("mismatched resume returned %v, want CorruptSpillError", err)
+	}
+}
+
+// TestOutOfCoreViaConfig exercises the ra.Config front door: selecting
+// the engine through ra.NewEngine must work once oocore is imported, and
+// the config validation must reject incomplete configs.
+func TestOutOfCoreViaConfig(t *testing.T) {
+	g := nim.MustNew(2, 5)
+	want, err := ra.Sequential{}.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, _ := ra.InCoreStateBytes(g, ra.KernelAuto)
+	e, err := ra.NewEngine(ra.Config{Engine: ra.OutOfCore, MemLimit: ic / 2, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "config front door", want, got)
+
+	if _, err := ra.NewEngine(ra.Config{Engine: ra.OutOfCore, SpillDir: t.TempDir()}); err == nil {
+		t.Error("NewEngine accepted a zero MemLimit")
+	}
+	if _, err := ra.NewEngine(ra.Config{Engine: ra.OutOfCore, MemLimit: 1}); err == nil {
+		t.Error("NewEngine accepted an empty SpillDir")
+	}
+}
+
+// TestSpillBlockRoundtrip: pack → encode → decode must be bit-exact for
+// state stream shapes both kernels produce, including scalar NoValue.
+func TestSpillBlockRoundtrip(t *testing.T) {
+	n := 1000
+	vals := make([]game.Value, n)
+	meta := make([]game.Value, n)
+	for i := range vals {
+		// Deterministic mix: runs, alternation, NoValue stretches, full
+		// 16-bit spread — the shapes that pick different codecs.
+		switch {
+		case i < 300:
+			vals[i] = 5
+			meta[i] = 1
+		case i < 600:
+			vals[i] = game.NoValue
+			meta[i] = game.Value(i%7) << 1
+		default:
+			vals[i] = game.Value(i * 2654435761 % 65536)
+			meta[i] = game.Value(i%2 | i%16<<1)
+		}
+	}
+	enc, err := encodeSpill(nil, 42, ra.KernelScalar, vals, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, kern, dv, dm, err := decodeSpill("test", enc, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk != 42 || kern != ra.KernelScalar {
+		t.Fatalf("header roundtrip: block=%d kernel=%v", blk, kern)
+	}
+	for i := range vals {
+		if dv[i] != vals[i] || dm[i] != meta[i] {
+			t.Fatalf("stream roundtrip differs at %d: (%d,%d) vs (%d,%d)", i, dv[i], dm[i], vals[i], meta[i])
+		}
+	}
+
+	// Every corruption — truncation, bit flips anywhere, garbage — must
+	// surface as CorruptSpillError, never a panic or silent success.
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, _, _, _, err := decodeSpill("trunc", enc[:cut], nil, nil); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	for off := 0; off < len(enc); off += 11 {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0x40
+		_, _, _, _, err := decodeSpill("flip", bad, nil, nil)
+		var ce *CorruptSpillError
+		if err == nil || !errors.As(err, &ce) {
+			t.Fatalf("bit flip at %d: err=%v, want CorruptSpillError", off, err)
+		}
+	}
+}
+
+// TestManifestRoundtrip covers the durable root: full write/read
+// equality plus corruption rejection.
+func TestManifestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, manifestName)
+	mf := &manifest{
+		size:     1000,
+		kernel:   ra.KernelSWAR,
+		blockLen: 256,
+		waves:    17,
+		blocks: []manifestBlock{
+			{gen: 3, stats: ra.WorkerStats{Positions: 256, Finalized: 9}, queue: []uint64{1, 2, 250}},
+			{gen: 1, stats: ra.WorkerStats{Positions: 256}, next: []uint64{0}, loopy: []uint64{5}},
+			{gen: 2, stats: ra.WorkerStats{Positions: 256}},
+			{gen: 7, stats: ra.WorkerStats{Positions: 232},
+				pending: []ra.UpdateRun{{Base: 768, Count: 12, Value: 3}}},
+		},
+	}
+	if err := writeManifest(path, mf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.size != mf.size || got.kernel != mf.kernel || got.blockLen != mf.blockLen || got.waves != mf.waves {
+		t.Fatalf("header roundtrip: %+v", got)
+	}
+	for i := range mf.blocks {
+		w, g := &mf.blocks[i], &got.blocks[i]
+		if w.gen != g.gen || w.stats != g.stats || len(w.queue) != len(g.queue) ||
+			len(w.next) != len(g.next) || len(w.loopy) != len(g.loopy) || len(w.pending) != len(g.pending) {
+			t.Fatalf("block %d roundtrip: %+v vs %+v", i, w, g)
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(data); off += 5 {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x10
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := readManifest(path)
+		var ce *CorruptSpillError
+		if err == nil || !errors.As(err, &ce) {
+			t.Fatalf("manifest flip at %d: err=%v, want CorruptSpillError", off, err)
+		}
+	}
+}
+
+// TestInspectDir: the rastats -spill view of a paused solve.
+func TestInspectDir(t *testing.T) {
+	g := ttt.New()
+	ic, _ := ra.InCoreStateBytes(g, ra.KernelAuto)
+	dir := t.TempDir()
+	e := Engine{MemLimit: ic / 4, Dir: dir, StopAfterWaves: 2}
+	if _, _, err := e.SolveDetailed(g); !errors.Is(err, ra.ErrPaused) {
+		t.Fatalf("pause run: %v", err)
+	}
+	info, err := InspectDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasManifest {
+		t.Fatal("paused store has no manifest")
+	}
+	if info.Size != g.Size() || info.Kernel != "scalar" || info.Waves != 2 {
+		t.Errorf("inspect: %+v", info)
+	}
+	if info.BlockFiles < info.Blocks {
+		t.Errorf("inspect: %d block files for %d blocks", info.BlockFiles, info.Blocks)
+	}
+	if info.SpillBytes == 0 {
+		t.Error("inspect: zero spill bytes")
+	}
+}
+
+// TestAutoBlockLen pins the auto-sizing contract: multiples of 64 within
+// the clamps, and small enough that any rung splits into several blocks.
+func TestAutoBlockLen(t *testing.T) {
+	for _, tc := range []struct{ size, want uint64 }{
+		{1, 64},
+		{64, 64},
+		{2048, 64},
+		{19683, 640},
+		{705432, 22080},
+		{1 << 30, 1 << 16},
+	} {
+		if got := autoBlockLen(tc.size); got != tc.want {
+			t.Errorf("autoBlockLen(%d) = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package oocore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"retrograde/internal/game"
+	"retrograde/internal/ra"
+	"retrograde/internal/zdb"
+)
+
+// Spill-block file format (little-endian). One file is one block's full
+// per-position state, kernel-independent (the two PackState streams),
+// each stream compressed with the zdb table codecs:
+//
+//	off  0  magic "RASB"
+//	off  4  version  u16
+//	off  6  kernel   u8   (ra.KernelScalar or ra.KernelSWAR)
+//	off  7  reserved u8   (zero)
+//	off  8  block    u32  (block index within the rung)
+//	off 12  count    u32  (positions in the block)
+//	off 16  values codec u8, param u8; meta codec u8, param u8
+//	off 20  values payload length u32
+//	off 24  meta payload length u32
+//	off 28  values payload, then meta payload
+//	tail    crc64/ECMA over everything above, u64
+const (
+	spillMagic     = "RASB"
+	spillVersion   = 1
+	spillHeaderLen = 28
+	spillSuffix    = ".spill"
+	// spillMaxCount bounds the position count a header may claim before
+	// decode allocates, so a malformed file cannot provoke an arbitrary
+	// allocation. Far above any real block length (see autoBlockLen).
+	spillMaxCount = 1 << 22
+	// spillStreamBits is the full width of both state streams: values can
+	// be game.NoValue (0xFFFF) under the scalar kernel and meta carries a
+	// 15-bit counter plus the final flag.
+	spillStreamBits = 16
+)
+
+var crcTab = crc64.MakeTable(crc64.ECMA)
+
+// CorruptSpillError reports a spill block or manifest whose content is
+// truncated, garbled, or inconsistent with the solve that tries to load
+// it. It is a distinct type so callers can tell corruption (resume must
+// start over) from I/O failure (retryable) with errors.As.
+type CorruptSpillError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptSpillError) Error() string {
+	return fmt.Sprintf("oocore: corrupt spill file %s: %s", e.Path, e.Reason)
+}
+
+func corrupt(path, format string, args ...any) error {
+	return &CorruptSpillError{Path: path, Reason: fmt.Sprintf(format, args...)}
+}
+
+// encodeSpill appends a complete spill-block file image for one block's
+// packed state streams to dst and returns the grown slice.
+func encodeSpill(dst []byte, block int, kern ra.Kernel, vals, meta []game.Value) ([]byte, error) {
+	if len(vals) != len(meta) {
+		return nil, fmt.Errorf("oocore: state streams have %d/%d entries", len(vals), len(meta))
+	}
+	head := len(dst)
+	dst = append(dst, make([]byte, spillHeaderLen)...)
+	dst, vCodec, vParam, err := zdb.EncodeStream(dst, vals, spillStreamBits)
+	if err != nil {
+		return nil, fmt.Errorf("oocore: encoding block %d values: %w", block, err)
+	}
+	valsLen := len(dst) - head - spillHeaderLen
+	dst, mCodec, mParam, err := zdb.EncodeStream(dst, meta, spillStreamBits)
+	if err != nil {
+		return nil, fmt.Errorf("oocore: encoding block %d meta: %w", block, err)
+	}
+	metaLen := len(dst) - head - spillHeaderLen - valsLen
+	h := dst[head:]
+	copy(h, spillMagic)
+	binary.LittleEndian.PutUint16(h[4:], spillVersion)
+	h[6] = byte(kern)
+	h[7] = 0
+	binary.LittleEndian.PutUint32(h[8:], uint32(block))
+	binary.LittleEndian.PutUint32(h[12:], uint32(len(vals)))
+	h[16], h[17], h[18], h[19] = vCodec, vParam, mCodec, mParam
+	binary.LittleEndian.PutUint32(h[20:], uint32(valsLen))
+	binary.LittleEndian.PutUint32(h[24:], uint32(metaLen))
+	crc := crc64.Checksum(dst[head:], crcTab)
+	return binary.LittleEndian.AppendUint64(dst, crc), nil
+}
+
+// decodeSpill parses one spill-block file image back into the two state
+// streams, reusing vals/meta as scratch (grown when too small). Every
+// malformed input — truncation, bad framing, checksum mismatch, codec
+// garbage — returns a *CorruptSpillError; decode never panics.
+func decodeSpill(path string, data []byte, vals, meta []game.Value) (block int, kern ra.Kernel, outVals, outMeta []game.Value, err error) {
+	fail := func(e error) (int, ra.Kernel, []game.Value, []game.Value, error) {
+		return 0, 0, vals, meta, e
+	}
+	if len(data) < spillHeaderLen+8 {
+		return fail(corrupt(path, "truncated: %d bytes", len(data)))
+	}
+	if string(data[:4]) != spillMagic {
+		return fail(corrupt(path, "bad magic %q", data[:4]))
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != spillVersion {
+		return fail(corrupt(path, "unsupported version %d", v))
+	}
+	kern = ra.Kernel(data[6])
+	if kern != ra.KernelScalar && kern != ra.KernelSWAR {
+		return fail(corrupt(path, "unknown kernel %d", data[6]))
+	}
+	block = int(binary.LittleEndian.Uint32(data[8:]))
+	count := int(binary.LittleEndian.Uint32(data[12:]))
+	if count > spillMaxCount {
+		return fail(corrupt(path, "position count %d exceeds the format bound %d", count, spillMaxCount))
+	}
+	valsLen := int64(binary.LittleEndian.Uint32(data[20:]))
+	metaLen := int64(binary.LittleEndian.Uint32(data[24:]))
+	if spillHeaderLen+valsLen+metaLen+8 != int64(len(data)) {
+		return fail(corrupt(path, "payload framing (%d+%d) does not match file size %d", valsLen, metaLen, len(data)))
+	}
+	body := len(data) - 8
+	if got, want := crc64.Checksum(data[:body], crcTab), binary.LittleEndian.Uint64(data[body:]); got != want {
+		return fail(corrupt(path, "checksum mismatch: computed %016x, stored %016x", got, want))
+	}
+	vals = growValues(vals, count)
+	meta = growValues(meta, count)
+	vp := data[spillHeaderLen : spillHeaderLen+int(valsLen)]
+	if err := zdb.DecodeStream(vp, count, spillStreamBits, data[16], data[17], vals); err != nil {
+		return fail(corrupt(path, "values stream (%s): %v", zdb.CodecName(data[16]), err))
+	}
+	mp := data[spillHeaderLen+int(valsLen) : body]
+	if err := zdb.DecodeStream(mp, count, spillStreamBits, data[18], data[19], meta); err != nil {
+		return fail(corrupt(path, "meta stream (%s): %v", zdb.CodecName(data[18]), err))
+	}
+	return block, kern, vals, meta, nil
+}
+
+// growValues returns a slice of exactly n entries, reusing s's backing
+// array when it is large enough.
+func growValues(s []game.Value, n int) []game.Value {
+	if cap(s) < n {
+		return make([]game.Value, n)
+	}
+	return s[:n]
+}
+
+// errSimulatedCrash is what the spill store's test failpoint injects in
+// place of a write: the solve dies exactly as if the machine lost power
+// mid-wave, leaving the directory for a resume to pick up.
+var errSimulatedCrash = errors.New("oocore: simulated crash (test failpoint)")
+
+// spillStore owns the on-disk block files under the engine directory.
+// Block files are generation-numbered: rewriting block b writes
+// generation gen+1 atomically and only then deletes the previous
+// generation — and never the generation the last durable manifest pins —
+// so a crash at any instant leaves every manifest-referenced file intact.
+type spillStore struct {
+	dir string
+
+	// failAfter > 0 makes the failAfter-th write (counting from 1) return
+	// errSimulatedCrash without touching the file — the crash-recovery
+	// tests' failpoint.
+	failAfter int
+	writes    int
+}
+
+func (s *spillStore) path(block int, gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("block-%06d.g%d%s", block, gen, spillSuffix))
+}
+
+func (s *spillStore) write(block int, gen uint64, data []byte) error {
+	s.writes++
+	if s.failAfter > 0 && s.writes >= s.failAfter {
+		return errSimulatedCrash
+	}
+	return ra.WriteFileAtomic(s.path(block, gen), func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+func (s *spillStore) read(block int, gen uint64) ([]byte, string, error) {
+	p := s.path(block, gen)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, p, fmt.Errorf("oocore: reading spill block: %w", err)
+	}
+	return data, p, nil
+}
+
+// remove deletes one generation of one block, best-effort: a leftover
+// file is garbage a later clear sweeps up, never a correctness problem.
+func (s *spillStore) remove(block int, gen uint64) {
+	os.Remove(s.path(block, gen))
+}
+
+// clear deletes every spill block and the manifest — the end of a
+// completed solve, or the caller starting over.
+func (s *spillStore) clear() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("oocore: clearing spill store: %w", err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if !ent.Type().IsRegular() {
+			continue
+		}
+		if strings.HasPrefix(name, "block-") && strings.HasSuffix(name, spillSuffix) || name == manifestName {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				return fmt.Errorf("oocore: clearing spill store: %w", err)
+			}
+		}
+	}
+	return nil
+}

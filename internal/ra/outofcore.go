@@ -1,0 +1,88 @@
+package ra
+
+import (
+	"fmt"
+
+	"retrograde/internal/game"
+)
+
+// EngineKind selects which solving tier a Config asks for: fully in core
+// (the Sequential engine, the default) or out of core (working state
+// streamed through compressed spill blocks under a memory cap — see
+// internal/oocore).
+type EngineKind uint8
+
+const (
+	// InCore holds the whole rung's packed state in RAM — the classic
+	// engines. The zero value.
+	InCore EngineKind = iota
+	// OutOfCore caps resident state at Config.MemLimit bytes and spills
+	// cold zdb-encoded blocks to Config.SpillDir. Requires importing
+	// retrograde/internal/oocore (which registers the implementation).
+	OutOfCore
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case InCore:
+		return "in-core"
+	case OutOfCore:
+		return "out-of-core"
+	}
+	return fmt.Sprintf("EngineKind(%d)", uint8(k))
+}
+
+// newOutOfCore builds the out-of-core engine for a Config. Package
+// internal/oocore installs it from init; ra itself cannot import oocore
+// (oocore is built on ra's worker machinery).
+var newOutOfCore func(Config) Engine
+
+// RegisterOutOfCore installs the out-of-core engine constructor. Called
+// from internal/oocore's init; not for use by anyone else.
+func RegisterOutOfCore(f func(Config) Engine) { newOutOfCore = f }
+
+// NewEngine is the Config front door: it returns the engine the Config
+// describes. InCore yields the Sequential engine under the configured
+// kernel; OutOfCore yields the spill-block engine, which needs MemLimit
+// and SpillDir set and internal/oocore imported.
+func NewEngine(cfg Config) (Engine, error) {
+	switch cfg.Engine {
+	case InCore:
+		return Sequential{Config: cfg}, nil
+	case OutOfCore:
+		if newOutOfCore == nil {
+			return nil, fmt.Errorf("ra: out-of-core engine not registered (import retrograde/internal/oocore)")
+		}
+		if cfg.MemLimit == 0 {
+			return nil, fmt.Errorf("ra: out-of-core engine needs Config.MemLimit > 0")
+		}
+		if cfg.SpillDir == "" {
+			return nil, fmt.Errorf("ra: out-of-core engine needs Config.SpillDir")
+		}
+		return newOutOfCore(cfg), nil
+	}
+	return nil, fmt.Errorf("ra: unknown engine kind %v", cfg.Engine)
+}
+
+// ResolveKernel reports the concrete kernel k resolves to for g
+// (KernelAuto picks SWAR when the game is eligible) without building a
+// worker — the out-of-core engine needs the answer before it sizes
+// blocks.
+func ResolveKernel(g game.Game, k Kernel) (Kernel, error) {
+	return resolveKernel(g, k)
+}
+
+// InCoreStateBytes returns the analysis-time working-set bytes a single
+// in-core worker would hold for g under kernel k — the baseline an
+// out-of-core memory cap is expressed against (and the quantity the
+// paper's ">600 MByte on a uniprocessor" claim is about).
+func InCoreStateBytes(g game.Game, k Kernel) (uint64, error) {
+	k, err := resolveKernel(g, k)
+	if err != nil {
+		return 0, err
+	}
+	if k == KernelSWAR {
+		return g.Size() * LaneBytesPerPosition, nil
+	}
+	return g.Size() * StateBytesPerPosition, nil
+}

@@ -57,13 +57,22 @@ func (k Kernel) String() string {
 	return fmt.Sprintf("Kernel(%d)", uint8(k))
 }
 
-// Config tunes the in-core engines (Sequential, Concurrent). The
-// distributed and simulated engines do not take a Config: they keep the
-// honest scalar per-message path so the paper's traffic and wave numbers
-// stay meaningful.
+// Config tunes the in-core engines (Sequential, Concurrent) and, through
+// NewEngine, selects the out-of-core tier. The distributed and simulated
+// engines do not take a Config: they keep the honest scalar per-message
+// path so the paper's traffic and wave numbers stay meaningful.
 type Config struct {
 	// Kernel selects the wave kernel; zero value is KernelAuto.
 	Kernel Kernel
+	// Engine selects the solving tier for NewEngine; zero value is
+	// InCore. The in-core engines ignore it.
+	Engine EngineKind
+	// MemLimit caps the out-of-core engine's resident block-state bytes.
+	// Required when Engine is OutOfCore; ignored in core.
+	MemLimit uint64
+	// SpillDir is the out-of-core engine's spill/checkpoint directory.
+	// Required when Engine is OutOfCore; ignored in core.
+	SpillDir string
 }
 
 // Lane field layout (one byte per position).

@@ -102,6 +102,7 @@ type Worker struct {
 	g    game.Game
 	part *Partition
 	me   int
+	kern Kernel // resolved kernel; stable across DropState/RestoreState
 
 	// Scalar kernel: state packs value, successor counter and final flag
 	// per owned position (see packState); Apply touches exactly one word.
@@ -170,6 +171,7 @@ func NewWorkerKernel(g game.Game, part *Partition, me int, k Kernel) (*Worker, e
 		g:     g,
 		part:  part,
 		me:    me,
+		kern:  k,
 		finAt: -1,
 	}
 	w.Stats.Positions = n
@@ -203,12 +205,7 @@ func NewWorkerKernel(g game.Game, part *Partition, me int, k Kernel) (*Worker, e
 }
 
 // Kernel reports which wave kernel the worker runs.
-func (w *Worker) Kernel() Kernel {
-	if w.lane != nil {
-		return KernelSWAR
-	}
-	return KernelScalar
-}
+func (w *Worker) Kernel() Kernel { return w.kern }
 
 // ID returns the worker's shard number.
 func (w *Worker) ID() int { return w.me }
@@ -288,7 +285,9 @@ func (w *Worker) Pending() int { return len(w.next) + len(w.queue) }
 // does not change results.
 func (w *Worker) BeginWave() int {
 	w.queue, w.next = w.next, w.queue[:0]
-	if w.lane != nil {
+	// Keyed on the kernel, not lane presence: the out-of-core engine calls
+	// BeginWave on workers whose state is currently spilled.
+	if w.kern == KernelSWAR {
 		w.sortQueue()
 	}
 	return len(w.queue)

@@ -267,6 +267,27 @@ type Provenance struct {
 	Analyzers  int    `json:"analyzers,omitempty"`
 	// GoVersion is filled by WriteJSON when left empty.
 	GoVersion string `json:"goVersion"`
+	// Spill carries the out-of-core spill counters when the producing run
+	// solved under a memory cap; nil for in-core runs.
+	Spill *Spill `json:"spill,omitempty"`
+}
+
+// Spill is the out-of-core traffic summary carried in result provenance:
+// enough to tell how hard a capped run leaned on the spill store without
+// re-running it.
+type Spill struct {
+	// Blocks is how many state blocks the rung was split into.
+	Blocks int `json:"blocks"`
+	// MemLimit is the resident-state cap in bytes.
+	MemLimit uint64 `json:"memLimit"`
+	// Spilled and Reloaded count block writes to and reads from the
+	// spill store.
+	Spilled  uint64 `json:"spilled"`
+	Reloaded uint64 `json:"reloaded"`
+	// BytesWritten is the compressed spill traffic written.
+	BytesWritten uint64 `json:"bytesWritten"`
+	// PeakResidentBytes is the resident block-state high-water mark.
+	PeakResidentBytes uint64 `json:"peakResidentBytes"`
 }
 
 // documentJSON is the top-level shape of a WriteJSON file.
