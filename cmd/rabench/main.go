@@ -12,6 +12,8 @@
 //	rabench -smoke                # E14 kernel check only; exit 1 if SWAR < scalar
 //	rabench -oocore               # E15 out-of-core cap sweep only; exit 1 on any
 //	                              # checksum divergence from the in-core oracle
+//	rabench -writeback            # E16 sync-vs-pipelined spill A/B only; exit 1
+//	                              # on any checksum divergence on either side
 package main
 
 import (
@@ -40,6 +42,7 @@ func run() int {
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	smoke := flag.Bool("smoke", false, "run only the E14 kernel comparison and fail if SWAR is slower than scalar")
 	oocoreRun := flag.Bool("oocore", false, "run only the E15 out-of-core cap sweep and fail on any divergence from the in-core oracle")
+	writebackRun := flag.Bool("writeback", false, "run only the E16 sync-vs-pipelined spill A/B and fail on any divergence from the in-core oracle")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -99,6 +102,13 @@ func run() int {
 	}
 	if *oocoreRun {
 		if err := experiments.E15Smoke(scale, os.Stdout, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "rabench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *writebackRun {
+		if err := experiments.E16Smoke(scale, os.Stdout, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "rabench: %v\n", err)
 			return 1
 		}

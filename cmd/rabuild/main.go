@@ -77,6 +77,7 @@ func run() error {
 	combineSize := flag.Int("combine", 100, "distributed: updates per combined message (1 = off)")
 	memLimit := flag.Uint64("memlimit", 0, "resident state cap in bytes; >0 selects the out-of-core engine")
 	spillDir := flag.String("spilldir", "", "out-of-core spill directory (default <out>/spill)")
+	syncSpill := flag.Bool("syncspill", false, "out-of-core: disable write-behind spilling and frontier prefetch (synchronous A/B control; bit-identical output)")
 	out := flag.String("out", ".", "output directory for .radb files")
 	single := flag.String("single", "", "awari: additionally write all rungs into one .rafy family file")
 	compress := flag.Bool("compress", false, "write block-compressed v2 .radb files")
@@ -105,7 +106,7 @@ func run() error {
 		if dir == "" {
 			dir = filepath.Join(*out, "spill")
 		}
-		engine = outOfCore{memLimit: *memLimit, dir: dir}
+		engine = outOfCore{memLimit: *memLimit, dir: dir, sync: *syncSpill}
 	default:
 		return fmt.Errorf("unknown engine %q", *engineName)
 	}
@@ -142,15 +143,17 @@ func run() error {
 type outOfCore struct {
 	memLimit uint64
 	dir      string
+	sync     bool // spill synchronously: no write-behind, no prefetch
 }
 
 func (e outOfCore) Name() string { return fmt.Sprintf("out-of-core(cap=%d)", e.memLimit) }
 
 func (e outOfCore) Solve(g game.Game) (*ra.Result, error) {
 	inner, err := ra.NewEngine(ra.Config{
-		Engine:   ra.OutOfCore,
-		MemLimit: e.memLimit,
-		SpillDir: filepath.Join(e.dir, g.Name()),
+		Engine:    ra.OutOfCore,
+		MemLimit:  e.memLimit,
+		SpillDir:  filepath.Join(e.dir, g.Name()),
+		SpillSync: e.sync,
 	})
 	if err != nil {
 		return nil, err

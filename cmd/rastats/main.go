@@ -127,10 +127,15 @@ func spillReport(dir string) error {
 		fmt.Printf("  manifest      none (no interrupted solve to resume)\n")
 		return nil
 	}
-	fmt.Printf("  manifest      checkpoint after wave %d\n", info.Waves)
+	fmt.Printf("  manifest      checkpoint after wave %d (%d checkpoints so far)\n", info.Waves, info.Checkpoints)
 	fmt.Printf("  solve         %s positions, %s kernel, %d blocks of %s\n",
 		stats.Count(info.Size), info.Kernel, info.Blocks, stats.Count(info.BlockLen))
 	fmt.Printf("  parked runs   %s cross-block update runs awaiting delivery\n", stats.Count(info.Pending))
+	fmt.Printf("  spill I/O     %s spills (%s written), %s reloads (%s read)\n",
+		stats.Count(info.Spilled), stats.Bytes(info.BytesWritten),
+		stats.Count(info.Reloaded), stats.Bytes(info.BytesRead))
+	fmt.Printf("  scheduler     %d/%d prefetch hits, %d write stalls\n",
+		info.PrefetchHits, info.PrefetchIssued, info.WriteStalls)
 	return nil
 }
 

@@ -78,14 +78,7 @@ func e15Table(env *Env) (*stats.Table, *stats.Spill, error) {
 			stats.Bytes(st.SpillBytesWritten),
 			stats.Bytes(st.PeakResidentBytes))
 		if frac == 2 {
-			half = &stats.Spill{
-				Blocks:            st.Blocks,
-				MemLimit:          st.MemLimit,
-				Spilled:           st.Spilled,
-				Reloaded:          st.Reloaded,
-				BytesWritten:      st.SpillBytesWritten,
-				PeakResidentBytes: st.PeakResidentBytes,
-			}
+			half = spillProvenance(&st)
 		}
 	}
 	t.Note("every capped database is bit-identical to the in-core oracle (checksum %016x), same wave count", oracleSum)

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"retrograde/internal/analysis"
+	"retrograde/internal/oocore"
+	"retrograde/internal/ra"
+	"retrograde/internal/stats"
+)
+
+// E16Writeback measures what overlapping spill I/O with expansion buys:
+// the same cap sweep as E15, but each cap solved twice on the same
+// machine in the same process — once with the pipeline forced off
+// (synchronous inline spilling, the pre-pipeline engine E15 originally
+// measured) and once with write-behind spilling plus frontier-aware
+// prefetch (the default). Both runs are checksum-gated bit-identical to
+// the in-core oracle, so the speedup column is pure scheduling: the
+// wave no longer waits for encode+fsync on eviction, and reloads find
+// their block already decoded.
+func E16Writeback(env *Env) (*stats.Table, error) {
+	t, _, err := e16Table(env)
+	return t, err
+}
+
+// spillProvenance converts engine spill counters into the provenance
+// summary BENCH documents carry.
+func spillProvenance(st *oocore.SpillStats) *stats.Spill {
+	return &stats.Spill{
+		Blocks:            st.Blocks,
+		MemLimit:          st.MemLimit,
+		Spilled:           st.Spilled,
+		Reloaded:          st.Reloaded,
+		BytesWritten:      st.SpillBytesWritten,
+		BytesRead:         st.SpillBytesRead,
+		PeakResidentBytes: st.PeakResidentBytes,
+		PrefetchIssued:    st.PrefetchIssued,
+		PrefetchHits:      st.PrefetchHits,
+		WriteStalls:       st.WriteStalls,
+	}
+}
+
+// e16Table runs the sync-vs-pipelined A/B and also returns the
+// pipelined half-footprint run's spill counters — the deliverable
+// configuration — for provenance.
+func e16Table(env *Env) (*stats.Table, *stats.Spill, error) {
+	slice := env.Headline()
+	ic, err := ra.InCoreStateBytes(slice, ra.KernelAuto)
+	if err != nil {
+		return nil, nil, err
+	}
+	oracle := ra.Sequential{}
+	var base *ra.Result
+	baseWall := wallTime(func() { base, err = oracle.Solve(slice) })
+	if err != nil {
+		return nil, nil, err
+	}
+	oracleSum := dbChecksum(base)
+	t := stats.NewTable(
+		fmt.Sprintf("E16: write-behind + frontier prefetch vs synchronous spilling (awari-%d, %s positions, in-core state %s, in-core solve %d ms)",
+			env.Scale.Stones, stats.Count(slice.Size()), stats.Bytes(ic), baseWall.Milliseconds()),
+		"mem cap", "of in-core", "sync ms", "pipelined ms", "speedup", "pipelined pos/s", "prefetch hit", "write stalls")
+	t.Kernel = base.Kernel
+
+	solve := func(memCap uint64, sync bool) (*ra.Result, oocore.SpillStats, time.Duration, error) {
+		dir, err := os.MkdirTemp("", "e16-spill-")
+		if err != nil {
+			return nil, oocore.SpillStats{}, 0, err
+		}
+		defer os.RemoveAll(dir)
+		e := oocore.Engine{MemLimit: memCap, Dir: dir}
+		if sync {
+			e.Writeback = -1
+			e.NoPrefetch = true
+		}
+		var res *ra.Result
+		var st oocore.SpillStats
+		wall := wallTime(func() { res, st, err = e.SolveDetailed(slice) })
+		if err != nil {
+			return nil, st, wall, err
+		}
+		if sum := dbChecksum(res); sum != oracleSum {
+			return nil, st, wall, fmt.Errorf("database differs from the in-core oracle (checksums %016x vs %016x)", sum, oracleSum)
+		}
+		if res.Waves != base.Waves {
+			return nil, st, wall, fmt.Errorf("%d waves, oracle took %d", res.Waves, base.Waves)
+		}
+		return res, st, wall, nil
+	}
+
+	var half *stats.Spill
+	var halfSpeedup float64
+	for _, frac := range []uint64{1, 2, 4, 8} {
+		memCap := ic / frac
+		_, _, syncWall, err := solve(memCap, true)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sync cap %s: %w", stats.Bytes(memCap), err)
+		}
+		_, st, pipeWall, err := solve(memCap, false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pipelined cap %s: %w", stats.Bytes(memCap), err)
+		}
+		speedup := syncWall.Seconds() / pipeWall.Seconds()
+		hitRate := "-"
+		if st.PrefetchIssued > 0 {
+			hitRate = fmt.Sprintf("%d/%d", st.PrefetchHits, st.PrefetchIssued)
+		}
+		t.Row(stats.Bytes(memCap),
+			fmt.Sprintf("%d%%", 100/frac),
+			syncWall.Milliseconds(),
+			pipeWall.Milliseconds(),
+			fmt.Sprintf("%.2fx", speedup),
+			stats.Count(uint64(float64(slice.Size())/pipeWall.Seconds())),
+			hitRate,
+			st.WriteStalls)
+		if frac == 2 {
+			half = spillProvenance(&st)
+			halfSpeedup = speedup
+		}
+	}
+	t.Note("every database — sync and pipelined, every cap — is bit-identical to the in-core oracle (checksum %016x), same wave count", oracleSum)
+	t.Note("sync = Writeback<0 + NoPrefetch: every eviction encodes and fsyncs inline, every reload is a demand read (the engine E15 first measured)")
+	t.Note("pipelined = write-behind depth %d + prefetch window %d: encode/write and read/decode run on tracked goroutines behind the wave", oocore.DefaultWritebackDepth, oocore.DefaultPrefetchWindow)
+	t.Note("half-cap speedup %.2fx; prefetch hit = reloads satisfied by the frontier scheduler's read-ahead", halfSpeedup)
+	return t, half, nil
+}
+
+// E16Smoke is the spill-pipeline acceptance gate for CI and `rabench
+// -writeback`: run the sync-vs-pipelined A/B at the given scale (both
+// sides checksum-gated against the in-core oracle), render the table,
+// and optionally write it as a JSON document whose provenance carries
+// the pipelined half-footprint counters.
+func E16Smoke(s Scale, w io.Writer, jsonPath string) error {
+	start := time.Now()
+	env, err := NewEnv(s, nil)
+	if err != nil {
+		return err
+	}
+	t, spill, err := e16Table(env)
+	if err != nil {
+		return err
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		prov := stats.Provenance{
+			Tool:       "rabench",
+			RavetSuite: analysis.Version,
+			Analyzers:  len(analysis.Suite()),
+			Spill:      spill,
+		}
+		if err := stats.WriteJSON(f, prov, []stats.NamedTable{{ID: "E16", Table: t}}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "E16 smoke OK: sync and pipelined bit-identical to the in-core oracle at every cap (%v wall)\n",
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -89,6 +89,7 @@ func RunAll(s Scale, w io.Writer, progress bool, csvDir, jsonPath string) error 
 		{"E10", E10HotPath},
 		{"E14", E14SWAR},
 		{"E15", E15OutOfCore},
+		{"E16", E16Writeback},
 		{"E12", E12Faults},
 		{"E13", E13Broker},
 		{"A1", A1Partition},

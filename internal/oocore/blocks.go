@@ -37,6 +37,14 @@ type SpillStats struct {
 	PeakPendingRuns uint64
 	// Checkpoints counts durable manifests written.
 	Checkpoints uint64
+	// PrefetchIssued counts background block reads started ahead of
+	// need; PrefetchHits counts the loads they satisfied (the rest went
+	// stale or the demand load won the race to issue).
+	PrefetchIssued uint64
+	PrefetchHits   uint64
+	// WriteStalls counts evictions that had to wait for a write-behind
+	// slot — the signal that spilling outran the store's bandwidth.
+	WriteStalls uint64
 	// Resumed reports whether the solve continued from an on-disk
 	// manifest instead of initialising from scratch.
 	Resumed bool
@@ -52,8 +60,14 @@ type block struct {
 	pins  int  // >0 while the engine is touching the state; never evicted
 	elem  *list.Element
 
-	gen         uint64 // newest complete spill generation on disk; 0 = none
+	gen         uint64 // newest spill generation written or in flight; 0 = none
 	manifestGen uint64 // generation the last durable manifest pins; 0 = none
+	syncedGen   uint64 // newest generation known fsynced; 0 = none
+
+	// touchEpoch marks the last scheduling phase (wave expansion, flush,
+	// final assembly) whose touch set included this block; makeRoom
+	// prefers evicting blocks outside the current phase's set.
+	touchEpoch uint64
 
 	// pending holds update runs routed here while the state was not
 	// resident; drained (applied) as soon as the block is loaded again,
@@ -78,9 +92,18 @@ type blockManager struct {
 	pendingRuns uint64 // current total across all blocks' pending lists
 
 	// Codec scratch, sized to the largest shard so steady-state spill and
-	// reload traffic allocates nothing.
+	// reload traffic allocates nothing. Used by the synchronous paths
+	// only; the async pipeline carries its own pooled buffers.
 	vals, meta []game.Value
 	enc        []byte
+
+	// Spill pipeline; both nil when the engine runs synchronously.
+	wb     *writeback
+	pf     *prefetcher
+	pfJobs []*prefetchJob // outstanding prefetch per block; engine thread only
+	wbBase uint64         // SpillBytesWritten before this run's writer started
+	wbErr  error          // writer's sticky error, preserved across closePipeline
+	epoch  uint64         // current scheduling phase for touchEpoch marks
 
 	stats SpillStats
 }
@@ -131,6 +154,70 @@ func (m *blockManager) initFresh() error {
 	return nil
 }
 
+// startPipeline brings up the async spill pipeline: a write-behind
+// queue of depth jobs (depth ≤ 0 keeps spilling synchronous) and a
+// prefetch window of window reads (window ≤ 0 keeps loads demand-only).
+// Called after a resume has seeded the cumulative counters, so the
+// writer's byte count folds on top of the manifest's.
+func (m *blockManager) startPipeline(depth, window int) {
+	if depth > 0 {
+		m.wbBase = m.stats.SpillBytesWritten
+		m.wb = newWriteback(m.store, depth)
+	}
+	if window > 0 {
+		m.pf = newPrefetcher(m.store, m.wb, window)
+		m.pfJobs = make([]*prefetchJob, len(m.blocks))
+	}
+}
+
+// closePipeline quiesces and joins both pipeline goroutines, folding the
+// writer's byte counter into the stats. Idempotent; must run before the
+// store is cleared and before the manager's stats are read for the last
+// time.
+func (m *blockManager) closePipeline() {
+	if m.pf != nil {
+		m.pf.close() // closes every outstanding job's done channel
+		for i := range m.pfJobs {
+			m.pfJobs[i] = nil
+		}
+		m.pf = nil
+	}
+	if m.wb != nil {
+		m.wb.pending.Wait()
+		m.stats.SpillBytesWritten = m.wbBase + m.wb.bytesWritten
+		if m.wbErr == nil {
+			m.wbErr = m.wb.firstError()
+		}
+		m.wb.close()
+		m.wb = nil
+	}
+}
+
+// quiesce waits until every write-behind job has committed, folds the
+// writer's counters, and returns the pipeline's first error — the
+// durability fence a manifest write stands behind.
+func (m *blockManager) quiesce() error {
+	if m.wb == nil {
+		return nil
+	}
+	err := m.wb.barrier()
+	m.stats.SpillBytesWritten = m.wbBase + m.wb.bytesWritten
+	return err
+}
+
+// asyncErr is the non-blocking end-of-wave check: a spill that failed
+// since the last wave surfaces here, without draining the queue. It
+// keeps answering after closePipeline, so the final check still sees a
+// last-wave failure.
+func (m *blockManager) asyncErr() error {
+	if m.wb != nil {
+		if err := m.wb.firstError(); err != nil {
+			return err
+		}
+	}
+	return m.wbErr
+}
+
 func (m *blockManager) bytesPerPosition() uint64 {
 	if m.kern == ra.KernelSWAR {
 		return ra.LaneBytesPerPosition
@@ -168,11 +255,25 @@ func (m *blockManager) ensureResident(b *block) error {
 	return nil
 }
 
-// makeRoom evicts least-recently-loaded unpinned blocks until need more
-// bytes fit under the budget. When only pinned blocks remain the budget
-// is allowed to overflow — the cache's pinned-overflow policy — so any
-// positive cap still makes progress.
+// makeRoom evicts resident unpinned blocks until need more bytes fit
+// under the budget. Eviction is frontier-aware: the first pass takes, in
+// LRU order, only blocks the current phase provably will not touch — not
+// in the phase's touch set, no parked runs, no already-known next-wave
+// frontier (PeekWave) — and only when those run out does plain LRU evict
+// blocks the wave may still want back. When only pinned blocks remain
+// the budget is allowed to overflow — the cache's pinned-overflow
+// policy — so any positive cap still makes progress.
 func (m *blockManager) makeRoom(need uint64) error {
+	for e := m.lru.Back(); e != nil && m.used+need > m.budget; {
+		b := e.Value.(*block)
+		e = e.Prev()
+		if b.pins > 0 || b.touchEpoch == m.epoch || len(b.pending) > 0 || b.w.PeekWave() > 0 {
+			continue
+		}
+		if err := m.evict(b); err != nil {
+			return err
+		}
+	}
 	for e := m.lru.Back(); e != nil && m.used+need > m.budget; {
 		b := e.Value.(*block)
 		e = e.Prev()
@@ -199,10 +300,44 @@ func (m *blockManager) evict(b *block) error {
 	return nil
 }
 
-// spill writes b's state to the next on-disk generation. The block stays
+// spill moves b's state to the next on-disk generation. The block stays
 // resident and is clean afterwards; the superseded generation is deleted
 // unless the last durable manifest still pins it.
+//
+// With the write-behind pipeline up, spill only packs the state into a
+// pooled job and returns — encode, write and the superseded-generation
+// delete happen on the writer goroutine, and a failure surfaces at the
+// next wave barrier (asyncErr) or manifest fence (quiesce). b.gen
+// advances at submit: the generation may still be in flight, which is
+// why every read path takes the writeback's waitBlock fence first.
 func (m *blockManager) spill(b *block) error {
+	if m.wb == nil {
+		return m.spillSync(b)
+	}
+	n := int(b.w.ShardSize())
+	j, stalled := m.wb.acquire()
+	if stalled {
+		m.stats.WriteStalls++
+	}
+	j.vals = growValues(j.vals, n)
+	j.meta = growValues(j.meta, n)
+	b.w.PackState(j.vals, j.meta)
+	j.block, j.kern, j.gen = b.idx, m.kern, b.gen+1
+	j.removeGen = 0
+	if b.gen != 0 && b.gen != b.manifestGen {
+		j.removeGen = b.gen
+	}
+	m.wb.submit(j)
+	b.gen++
+	b.dirty = false
+	m.stats.Spilled++
+	return nil
+}
+
+// spillSync is the synchronous spill path: encode and write inline on
+// the engine thread — the E15 baseline behavior, kept for the SpillSync
+// knob and as the A/B control the E16 experiment measures against.
+func (m *blockManager) spillSync(b *block) error {
 	n := b.w.ShardSize()
 	vals, meta := m.vals[:n], m.meta[:n]
 	b.w.PackState(vals, meta)
@@ -211,12 +346,13 @@ func (m *blockManager) spill(b *block) error {
 		return err
 	}
 	m.enc = enc
-	if err := m.store.write(b.idx, b.gen+1, enc); err != nil {
+	if err := m.store.write(b.idx, b.gen+1, enc, true); err != nil {
 		return err
 	}
 	old := b.gen
 	b.gen++
 	b.dirty = false
+	b.syncedGen = b.gen
 	if old != 0 && old != b.manifestGen {
 		m.store.remove(b.idx, old)
 	}
@@ -239,6 +375,25 @@ func (m *blockManager) spillAllDirty() error {
 	return nil
 }
 
+// syncPinned fsyncs every block's current generation that is not yet
+// known durable — the group fsync a manifest write stands behind.
+// Write-behind spills skip the per-file fsync (the eviction path's
+// dominant cost), so durability is established here instead, once per
+// checkpoint instead of once per spill, and only for the generations the
+// manifest is about to pin. Must run after quiesce: the files have to be
+// fully written before they can be synced.
+func (m *blockManager) syncPinned() error {
+	for _, b := range m.blocks {
+		if b.gen != 0 && b.syncedGen != b.gen {
+			if err := m.store.sync(b.idx, b.gen); err != nil {
+				return err
+			}
+			b.syncedGen = b.gen
+		}
+	}
+	return nil
+}
+
 // retireManifestPins moves the manifest pin of every block to its current
 // generation and deletes generations only the previous manifest kept
 // alive. Called after a manifest write lands.
@@ -252,6 +407,33 @@ func (m *blockManager) retireManifestPins() {
 }
 
 func (m *blockManager) load(b *block) error {
+	// Once the write-behind pipeline has failed, the generation this load
+	// wants may never have reached the disk — surface the original write
+	// error, not the confusing missing-file read error it would cause.
+	if err := m.asyncErr(); err != nil {
+		return err
+	}
+	if m.pf != nil {
+		if j := m.pfJobs[b.idx]; j != nil {
+			m.pfJobs[b.idx] = nil
+			<-j.done
+			hit, err := m.consumePrefetch(b, j)
+			m.pf.release(j)
+			if err != nil {
+				return err
+			}
+			if hit {
+				return nil
+			}
+		}
+	}
+	if m.wb != nil {
+		// Read-after-write fence: the generation we want may still be in
+		// the write-behind queue.
+		if err := m.wb.waitBlock(b.idx); err != nil {
+			return err
+		}
+	}
 	data, path, err := m.store.read(b.idx, b.gen)
 	if err != nil {
 		return err
@@ -276,6 +458,93 @@ func (m *blockManager) load(b *block) error {
 	m.stats.Reloaded++
 	m.stats.SpillBytesRead += uint64(len(data))
 	return nil
+}
+
+// consumePrefetch validates a completed prefetch and restores it into
+// b. A stale generation (the block was respilled after the hint was
+// issued — cannot happen today because respilling requires a load, which
+// consumes the hint first, but guarded regardless) is a miss, not an
+// error; everything else a demand load would reject is rejected here
+// with the same CorruptSpillError shape.
+func (m *blockManager) consumePrefetch(b *block, j *prefetchJob) (bool, error) {
+	if j.gen != b.gen {
+		return false, nil
+	}
+	if j.err != nil {
+		return false, j.err
+	}
+	if j.blk != b.idx {
+		return false, corrupt(j.path, "holds block %d, want %d", j.blk, b.idx)
+	}
+	if j.kern != m.kern {
+		return false, corrupt(j.path, "written by the %v kernel, want %v", j.kern, m.kern)
+	}
+	if uint64(len(j.vals)) != b.w.ShardSize() {
+		return false, corrupt(j.path, "holds %d positions, want %d", len(j.vals), b.w.ShardSize())
+	}
+	if err := b.w.RestoreState(j.vals, j.meta); err != nil {
+		return false, corrupt(j.path, "%v", err)
+	}
+	m.stats.Reloaded++
+	m.stats.PrefetchHits++
+	m.stats.SpillBytesRead += uint64(j.n)
+	return true, nil
+}
+
+// prefetch opportunistically starts a background read of b's spilled
+// state. Skipped when b is resident, already in flight, never spilled,
+// or every prefetch buffer is busy — a hint, never a stall.
+func (m *blockManager) prefetch(b *block) {
+	if m.pf == nil || b.w.StateResident() || m.pfJobs[b.idx] != nil || b.gen == 0 {
+		return
+	}
+	j := m.pf.tryAcquire()
+	if j == nil {
+		return
+	}
+	j.block, j.gen = b.idx, b.gen
+	m.pf.submit(j)
+	m.pfJobs[b.idx] = j
+	m.stats.PrefetchIssued++
+}
+
+// prefetchUpcoming advances the phase's read-ahead cursor past position
+// k in the touch order, issuing background reads for upcoming spilled
+// blocks as far as free prefetch buffers allow. The cursor never moves
+// backwards, so a full scan of the phase costs O(len(touch)) total.
+func (m *blockManager) prefetchUpcoming(touch []*block, cursor *int, k int) {
+	if m.pf == nil {
+		return
+	}
+	if *cursor < k+1 {
+		*cursor = k + 1
+	}
+	for *cursor < len(touch) {
+		b := touch[*cursor]
+		if !b.w.StateResident() && m.pfJobs[b.idx] == nil && b.gen != 0 {
+			j := m.pf.tryAcquire()
+			if j == nil {
+				return // window full; resume from the same block later
+			}
+			j.block, j.gen = b.idx, b.gen
+			m.pf.submit(j)
+			m.pfJobs[b.idx] = j
+			m.stats.PrefetchIssued++
+		}
+		*cursor++
+	}
+}
+
+// prefetchNextWave warms the blocks whose coming-wave frontier is
+// already visible (PeekWave) before BeginWave promotes it — the window
+// between the end-of-wave flush and the next expansion is spill-store
+// idle time otherwise.
+func (m *blockManager) prefetchNextWave() {
+	for _, b := range m.blocks {
+		if b.w.PeekWave() > 0 {
+			m.prefetch(b)
+		}
+	}
 }
 
 // notePending accounts n update runs parked on a non-resident block.
@@ -338,23 +607,45 @@ func (m *blockManager) restore(mf *manifest, path string) error {
 		b.w = w
 		b.gen = mb.gen
 		b.manifestGen = mb.gen
+		b.syncedGen = mb.gen // pinned generations were synced before the manifest landed
 		b.dirty = false
 		b.pending = mb.pending
 		m.notePending(uint64(len(mb.pending)))
 	}
+	c := &mf.counters
+	m.stats.Spilled = c.spilled
+	m.stats.Reloaded = c.reloaded
+	m.stats.SpillBytesWritten = c.bytesWritten
+	m.stats.SpillBytesRead = c.bytesRead
+	m.stats.Checkpoints = c.checkpoints
+	m.stats.PrefetchIssued = c.prefetchIssued
+	m.stats.PrefetchHits = c.prefetchHits
+	m.stats.WriteStalls = c.writeStalls
 	m.stats.Resumed = true
 	return nil
 }
 
 // manifestSnapshot captures the blocks' durable state for a manifest
-// write; every block must be clean (spillAllDirty first).
+// write; every block must be clean and every write-behind job committed
+// (spillAllDirty then quiesce first — quiesce also folds the counters
+// the snapshot records).
 func (m *blockManager) manifestSnapshot(waves uint64) (*manifest, error) {
 	mf := &manifest{
 		size:     m.part.Size(),
 		kernel:   m.kern,
 		blockLen: m.part.Group(),
 		waves:    waves,
-		blocks:   make([]manifestBlock, len(m.blocks)),
+		counters: manifestCounters{
+			spilled:        m.stats.Spilled,
+			reloaded:       m.stats.Reloaded,
+			bytesWritten:   m.stats.SpillBytesWritten,
+			bytesRead:      m.stats.SpillBytesRead,
+			checkpoints:    m.stats.Checkpoints,
+			prefetchIssued: m.stats.PrefetchIssued,
+			prefetchHits:   m.stats.PrefetchHits,
+			writeStalls:    m.stats.WriteStalls,
+		},
+		blocks: make([]manifestBlock, len(m.blocks)),
 	}
 	for i, b := range m.blocks {
 		if b.dirty {

@@ -23,15 +23,19 @@ import (
 //
 //	magic "RAOM", version u32
 //	size u64, kernel u8, blockLen u64, numBlocks u32, waves u64
+//	spill counters (8 × u64, manifestCounters field order) [v2]
 //	per block:
 //	  gen u64
 //	  worker stats (9 × u64, WorkerStats field order)
 //	  queue, next, loopy: count u64, then count × u64 local indices
 //	  pending: count u64, then count × (base u64, count u32, value u16)
+//
+// v2 added the spill-counter words so a resumed solve reports cumulative
+// I/O traffic instead of restarting its counters from zero.
 const (
 	manifestName    = "oocore.manifest"
 	manifestMagic   = "RAOM"
-	manifestVersion = 1
+	manifestVersion = 2
 )
 
 type manifestBlock struct {
@@ -41,12 +45,37 @@ type manifestBlock struct {
 	pending            []ra.UpdateRun
 }
 
+// manifestCounters is the cumulative-I/O slice of SpillStats a resumed
+// solve continues counting from.
+type manifestCounters struct {
+	spilled, reloaded            uint64
+	bytesWritten, bytesRead      uint64
+	checkpoints                  uint64
+	prefetchIssued, prefetchHits uint64
+	writeStalls                  uint64
+}
+
 type manifest struct {
 	size     uint64
 	kernel   ra.Kernel
 	blockLen uint64
 	waves    uint64
+	counters manifestCounters
 	blocks   []manifestBlock
+}
+
+func counterWords(c *manifestCounters) [8]uint64 {
+	return [8]uint64{
+		c.spilled, c.reloaded, c.bytesWritten, c.bytesRead,
+		c.checkpoints, c.prefetchIssued, c.prefetchHits, c.writeStalls,
+	}
+}
+
+func countersFromWords(w [8]uint64) manifestCounters {
+	return manifestCounters{
+		spilled: w[0], reloaded: w[1], bytesWritten: w[2], bytesRead: w[3],
+		checkpoints: w[4], prefetchIssued: w[5], prefetchHits: w[6], writeStalls: w[7],
+	}
 }
 
 func statsWords(s *ra.WorkerStats) [9]uint64 {
@@ -78,6 +107,9 @@ func writeManifest(path string, mf *manifest) error {
 		buf = binary.LittleEndian.AppendUint64(buf, mf.blockLen)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(mf.blocks)))
 		buf = binary.LittleEndian.AppendUint64(buf, mf.waves)
+		for _, w := range counterWords(&mf.counters) {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
 		if _, err := sw.Write(buf); err != nil {
 			return err
 		}
@@ -139,6 +171,11 @@ func readManifest(path string) (*manifest, error) {
 	mf.blockLen = r.u64()
 	nb := r.u32()
 	mf.waves = r.u64()
+	var cw [8]uint64
+	for i := range cw {
+		cw[i] = r.u64()
+	}
+	mf.counters = countersFromWords(cw)
 	if r.err != nil {
 		return nil, r.err
 	}

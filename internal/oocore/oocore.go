@@ -34,7 +34,12 @@ const DefaultCheckpointEvery = 8
 
 func init() {
 	ra.RegisterOutOfCore(func(cfg ra.Config) ra.Engine {
-		return Engine{MemLimit: cfg.MemLimit, Dir: cfg.SpillDir, Kernel: cfg.Kernel}
+		e := Engine{MemLimit: cfg.MemLimit, Dir: cfg.SpillDir, Kernel: cfg.Kernel}
+		if cfg.SpillSync {
+			e.Writeback = -1
+			e.NoPrefetch = true
+		}
+		return e
 	})
 }
 
@@ -67,6 +72,17 @@ type Engine struct {
 	// KeepStore leaves the spill files and manifest in place after a
 	// completed solve instead of deleting them.
 	KeepStore bool
+	// Writeback is the write-behind queue depth: how many evicted blocks
+	// may have encode+write in flight behind the wave. 0 picks
+	// DefaultWritebackDepth; negative forces synchronous spilling (every
+	// eviction encodes and writes inline — the pre-pipeline behavior the
+	// E16 experiment measures against). The solve is bit-identical at
+	// any depth.
+	Writeback int
+	// NoPrefetch disables the frontier-aware prefetcher, leaving reloads
+	// demand-paged under pure LRU. The solve is bit-identical either
+	// way.
+	NoPrefetch bool
 
 	// failSpillAfter > 0 injects errSimulatedCrash on the N-th spill
 	// write — the crash-recovery tests' failpoint.
@@ -100,20 +116,31 @@ func autoBlockLen(size uint64) uint64 {
 	return bl
 }
 
-// SolveDetailed is Solve plus the spill counters E15 reports. On
+// SolveDetailed is Solve plus the spill counters E15/E16 report. On
 // ra.ErrPaused the returned stats describe the partial run; the result
 // is nil until a later call completes the solve.
 func (e Engine) SolveDetailed(g game.Game) (*ra.Result, SpillStats, error) {
-	var none SpillStats
+	r, m, err := e.solve(g)
+	if m == nil {
+		return r, SpillStats{}, err
+	}
+	return r, m.stats, err
+}
+
+// solve returns the block manager alongside the result so SolveDetailed
+// reads its stats *after* the deferred pipeline shutdown has folded the
+// writer-side counters — every exit path, error or not, reports
+// consistent numbers.
+func (e Engine) solve(g game.Game) (*ra.Result, *blockManager, error) {
 	if e.MemLimit == 0 {
-		return nil, none, fmt.Errorf("oocore: MemLimit must be positive")
+		return nil, nil, fmt.Errorf("oocore: MemLimit must be positive")
 	}
 	if e.Dir == "" {
-		return nil, none, fmt.Errorf("oocore: spill directory is required")
+		return nil, nil, fmt.Errorf("oocore: spill directory is required")
 	}
 	kern, err := ra.ResolveKernel(g, e.Kernel)
 	if err != nil {
-		return nil, none, err
+		return nil, nil, err
 	}
 	size := g.Size()
 	blockLen := e.BlockLen
@@ -126,35 +153,60 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, SpillStats, error) {
 	}
 	part, err := ra.NewPartition(size, nb, blockLen)
 	if err != nil {
-		return nil, none, err
+		return nil, nil, err
 	}
 	if err := os.MkdirAll(e.Dir, 0o755); err != nil {
-		return nil, none, fmt.Errorf("oocore: creating spill directory: %w", err)
+		return nil, nil, fmt.Errorf("oocore: creating spill directory: %w", err)
 	}
 	store := &spillStore{dir: e.Dir, failAfter: e.failSpillAfter}
 	m := newBlockManager(g, kern, part, e.MemLimit, store)
-	m.stats.InCoreBytes, _ = ra.InCoreStateBytes(g, kern)
+	inCore, err := ra.InCoreStateBytes(g, kern)
+	if err != nil {
+		return nil, m, fmt.Errorf("oocore: sizing the in-core baseline: %w", err)
+	}
+	m.stats.InCoreBytes = inCore
 
 	mpath := filepath.Join(e.Dir, manifestName)
 	waves := 0
+	resumed := false
 	mf, err := readManifest(mpath)
 	switch {
 	case err == nil:
 		if mf.size != size || mf.kernel != kern || mf.blockLen != blockLen || len(mf.blocks) != nb {
-			return nil, none, corrupt(mpath,
+			return nil, m, corrupt(mpath,
 				"manifest describes size=%d kernel=%v blockLen=%d blocks=%d; this solve is size=%d kernel=%v blockLen=%d blocks=%d",
 				mf.size, mf.kernel, mf.blockLen, len(mf.blocks), size, kern, blockLen, nb)
 		}
 		if err := m.restore(mf, mpath); err != nil {
-			return nil, m.stats, err
+			return nil, m, err
 		}
 		waves = int(mf.waves)
+		resumed = true
 	case errors.Is(err, os.ErrNotExist):
-		if err := m.initFresh(); err != nil {
-			return nil, m.stats, err
-		}
 	default:
-		return nil, none, err
+		return nil, m, err
+	}
+
+	// The pipeline comes up after a resume has seeded the cumulative
+	// counters (so the writer's byte count folds on top of them) and
+	// before initFresh, whose under-cap evictions are the first spills
+	// worth overlapping. The deferred shutdown joins both goroutines and
+	// folds the counters on every exit path.
+	depth := e.Writeback
+	if depth == 0 {
+		depth = DefaultWritebackDepth
+	}
+	window := DefaultPrefetchWindow
+	if e.NoPrefetch {
+		window = 0
+	}
+	m.startPipeline(depth, window)
+	defer m.closePipeline()
+
+	if !resumed {
+		if err := m.initFresh(); err != nil {
+			return nil, m, err
+		}
 	}
 
 	rt := newRouter(m)
@@ -190,6 +242,15 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, SpillStats, error) {
 		if err := m.spillAllDirty(); err != nil {
 			return err
 		}
+		// Quiesce the write-behind queue, then group-fsync the generations
+		// this manifest will pin: write-behind spills defer their fsync to
+		// exactly this fence, so a manifest only ever names durable files.
+		if err := m.quiesce(); err != nil {
+			return err
+		}
+		if err := m.syncPinned(); err != nil {
+			return err
+		}
 		mf, err := m.manifestSnapshot(uint64(waves))
 		if err != nil {
 			return err
@@ -205,8 +266,13 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, SpillStats, error) {
 	// The wave loop of the sequential engine, lifted over blocks. Wave
 	// boundaries are global: every block's BeginWave runs before any
 	// block expands, and the router's flush is the end-of-wave barrier,
-	// so finalisation waves match the in-core engines exactly.
+	// so finalisation waves match the in-core engines exactly. Each phase
+	// first builds its touch list — the blocks it will provably visit, in
+	// visit order — which drives both sides of the scheduler: the
+	// prefetcher reads ahead along the list while the current block
+	// expands, and makeRoom evicts outside it.
 	queued := make([]int, nb)
+	touch := make([]*block, 0, nb)
 	ran := 0
 	for {
 		total := 0
@@ -219,17 +285,24 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, SpillStats, error) {
 		}
 		waves++
 		ran++
+		m.epoch++
+		touch = touch[:0]
 		for i, b := range m.blocks {
-			if queued[i] == 0 && len(b.pending) == 0 {
-				continue
+			if queued[i] > 0 || len(b.pending) > 0 {
+				touch = append(touch, b)
+				b.touchEpoch = m.epoch
 			}
+		}
+		cursor := 0
+		for k, b := range touch {
+			m.prefetchUpcoming(touch, &cursor, k)
 			m.pin(b)
 			if err := m.ensureResident(b); err != nil {
 				m.unpin(b)
-				return nil, m.stats, err
+				return nil, m, err
 			}
 			m.drainPending(b)
-			if queued[i] > 0 {
+			if queued[b.idx] > 0 {
 				if kern == ra.KernelSWAR {
 					b.w.ExpandRuns(0, emitRun)
 				} else {
@@ -240,53 +313,95 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, SpillStats, error) {
 			m.unpin(b)
 		}
 		rt.flushAll()
+		// Flush phase: drain the runs the router parked on non-resident
+		// blocks. A fresh epoch so the blocks expansion finished with
+		// (and the coming wave will not touch — PeekWave guards the rest)
+		// become eviction candidates.
+		m.epoch++
+		touch = touch[:0]
 		for _, b := range m.blocks {
-			if len(b.pending) == 0 {
-				continue
+			if len(b.pending) > 0 {
+				touch = append(touch, b)
+				b.touchEpoch = m.epoch
 			}
+		}
+		cursor = 0
+		for k, b := range touch {
+			m.prefetchUpcoming(touch, &cursor, k)
 			m.pin(b)
 			if err := m.ensureResident(b); err != nil {
 				m.unpin(b)
-				return nil, m.stats, err
+				return nil, m, err
 			}
 			m.drainPending(b)
 			m.unpin(b)
 		}
+		// The wave barrier is where write-behind failures surface: a
+		// spill that failed since the last barrier aborts here — one wave
+		// after a synchronous spill would have, with the store in the
+		// same resumable state (nothing superseded was deleted).
+		if err := m.asyncErr(); err != nil {
+			return nil, m, err
+		}
+		checkpointed := false
 		if every > 0 && waves%every == 0 {
 			if err := checkpoint(); err != nil {
-				return nil, m.stats, err
+				return nil, m, err
 			}
+			checkpointed = true
 		}
 		if e.StopAfterWaves > 0 && ran >= e.StopAfterWaves {
-			if err := checkpoint(); err != nil {
-				return nil, m.stats, err
+			// The periodic checkpoint above already pinned this wave;
+			// writing a second manifest back-to-back would double-count
+			// Checkpoints and churn a generation for nothing.
+			if !checkpointed {
+				if err := checkpoint(); err != nil {
+					return nil, m, err
+				}
 			}
-			return nil, m.stats, ra.ErrPaused
+			return nil, m, ra.ErrPaused
 		}
+		// Between the flush barrier and the next BeginWave the spill
+		// store is otherwise idle: warm the blocks whose next-wave
+		// frontier is already visible.
+		m.prefetchNextWave()
 	}
 
 	// Quiescence: resolve loops and assemble the result block by block in
-	// one residency pass each.
+	// one residency pass each, prefetching along the block order.
 	var loops uint64
 	values := make([]game.Value, size)
 	loopBits := make([]uint64, (size+63)/64)
 	workers := make([]ra.WorkerStats, nb)
-	for i, b := range m.blocks {
+	m.epoch++
+	for _, b := range m.blocks {
+		b.touchEpoch = m.epoch
+	}
+	cursor := 0
+	for k, b := range m.blocks {
+		m.prefetchUpcoming(m.blocks, &cursor, k)
 		m.pin(b)
 		if err := m.ensureResident(b); err != nil {
 			m.unpin(b)
-			return nil, m.stats, err
+			return nil, m, err
 		}
 		loops += b.w.ResolveLoops()
 		b.dirty = true
 		b.w.Fill(values)
 		b.w.FillLoop(loopBits)
-		workers[i] = b.w.Stats
+		workers[b.idx] = b.w.Stats
 		m.unpin(b)
+	}
+	// Join the pipeline before touching the store's files: clear must not
+	// race an in-flight write, and a write error still has to fail the
+	// solve even on the last wave.
+	m.closePipeline()
+	if err := m.asyncErr(); err != nil {
+		return nil, m, err
 	}
 	if !e.KeepStore {
 		if err := store.clear(); err != nil {
-			return nil, m.stats, err
+			return nil, m, err
 		}
 	}
 	return &ra.Result{
@@ -296,7 +411,7 @@ func (e Engine) SolveDetailed(g game.Game) (*ra.Result, SpillStats, error) {
 		Loop:          loopBits,
 		Workers:       workers,
 		Kernel:        kern.String(),
-	}, m.stats, nil
+	}, m, nil
 }
 
 // StoreInfo summarises an on-disk spill store — what rastats -spill
@@ -313,6 +428,17 @@ type StoreInfo struct {
 	Blocks   int
 	Waves    uint64
 	Pending  uint64 // parked cross-block runs recorded in the manifest
+	// Cumulative I/O counters the checkpointed solve had accumulated
+	// (v2 manifests): spill/reload ops, compressed traffic, checkpoint
+	// count, and the scheduler's prefetch-hit/write-stall tallies.
+	Spilled        uint64
+	Reloaded       uint64
+	BytesWritten   uint64
+	BytesRead      uint64
+	Checkpoints    uint64
+	PrefetchIssued uint64
+	PrefetchHits   uint64
+	WriteStalls    uint64
 }
 
 // InspectDir summarises the spill store under dir without touching it.
@@ -332,7 +458,9 @@ func InspectDir(dir string) (StoreInfo, error) {
 		}
 		fi, err := ent.Info()
 		if err != nil {
-			continue
+			// Silently skipping would undercount BlockFiles/SpillBytes —
+			// a store inspector that cannot stat a block file must say so.
+			return info, fmt.Errorf("oocore: inspecting spill block %s: %w", name, err)
 		}
 		info.BlockFiles++
 		info.SpillBytes += uint64(fi.Size())
@@ -350,6 +478,14 @@ func InspectDir(dir string) (StoreInfo, error) {
 	info.BlockLen = mf.blockLen
 	info.Blocks = len(mf.blocks)
 	info.Waves = mf.waves
+	info.Spilled = mf.counters.spilled
+	info.Reloaded = mf.counters.reloaded
+	info.BytesWritten = mf.counters.bytesWritten
+	info.BytesRead = mf.counters.bytesRead
+	info.Checkpoints = mf.counters.checkpoints
+	info.PrefetchIssued = mf.counters.prefetchIssued
+	info.PrefetchHits = mf.counters.prefetchHits
+	info.WriteStalls = mf.counters.writeStalls
 	for i := range mf.blocks {
 		info.Pending += uint64(len(mf.blocks[i].pending))
 	}

@@ -118,6 +118,63 @@ func TestOutOfCoreParityScalarGames(t *testing.T) {
 	}
 }
 
+// TestOutOfCorePipelineParity is the scheduler's bit-identity gate:
+// every pipeline configuration — write-behind + prefetch (the default),
+// each alone, and fully synchronous — must land on the same database as
+// the in-core oracle across caps, with counters consistent with the
+// configuration.
+func TestOutOfCorePipelineParity(t *testing.T) {
+	for _, g := range []game.Game{ttt.New(), nim.MustNew(3, 4)} {
+		want, err := ra.Sequential{}.Solve(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic, err := ra.InCoreStateBytes(g, ra.KernelAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frac := range []uint64{1, 2, 6} {
+			memCap := ic / frac
+			if memCap == 0 {
+				memCap = 1
+			}
+			for _, tc := range []struct {
+				name string
+				wb   int
+				nopf bool
+			}{
+				{"pipelined", 0, false},
+				{"writeback-only", 0, true},
+				{"prefetch-only", -1, false},
+				{"sync", -1, true},
+			} {
+				e := Engine{MemLimit: memCap, Dir: t.TempDir(), Writeback: tc.wb, NoPrefetch: tc.nopf}
+				got, st, err := e.SolveDetailed(g)
+				label := g.Name() + " " + tc.name
+				if err != nil {
+					t.Fatalf("%s cap=%d: %v", label, memCap, err)
+				}
+				compareResults(t, label, want, got)
+				if tc.nopf && (st.PrefetchIssued != 0 || st.PrefetchHits != 0) {
+					t.Errorf("%s: prefetch counters %d/%d with the prefetcher disabled", label, st.PrefetchIssued, st.PrefetchHits)
+				}
+				if tc.wb < 0 && st.WriteStalls != 0 {
+					t.Errorf("%s: %d write stalls with synchronous spilling", label, st.WriteStalls)
+				}
+				if st.PrefetchHits > st.PrefetchIssued {
+					t.Errorf("%s: %d prefetch hits exceed %d issued", label, st.PrefetchHits, st.PrefetchIssued)
+				}
+				if st.PrefetchHits > st.Reloaded {
+					t.Errorf("%s: %d prefetch hits exceed %d reloads", label, st.PrefetchHits, st.Reloaded)
+				}
+				if !tc.nopf && frac >= 6 && st.Reloaded > 0 && st.PrefetchIssued == 0 {
+					t.Errorf("%s cap=%d: %d reloads but the prefetcher never fired", label, memCap, st.Reloaded)
+				}
+			}
+		}
+	}
+}
+
 // TestOutOfCorePauseResume drives a solve one wave at a time through
 // StopAfterWaves: every intermediate call must return ra.ErrPaused with
 // a durable manifest behind it, and the final call must complete to a
@@ -133,6 +190,7 @@ func TestOutOfCorePauseResume(t *testing.T) {
 	e := Engine{MemLimit: ic / 3, Dir: dir, StopAfterWaves: 1}
 	var got *ra.Result
 	pauses := 0
+	var lastSpilled, lastCheckpoints uint64
 	for i := 0; i < want.Waves+2; i++ {
 		r, st, err := e.SolveDetailed(g)
 		if errors.Is(err, ra.ErrPaused) {
@@ -143,6 +201,13 @@ func TestOutOfCorePauseResume(t *testing.T) {
 			if pauses > 1 && !st.Resumed {
 				t.Fatalf("pause %d did not resume from the manifest", pauses)
 			}
+			// The v2 manifest carries the cumulative counters, so each
+			// resumed leg continues counting instead of starting over.
+			if st.Spilled < lastSpilled || st.Checkpoints < lastCheckpoints {
+				t.Fatalf("pause %d: counters went backwards: spilled %d→%d, checkpoints %d→%d",
+					pauses, lastSpilled, st.Spilled, lastCheckpoints, st.Checkpoints)
+			}
+			lastSpilled, lastCheckpoints = st.Spilled, st.Checkpoints
 			continue
 		}
 		if err != nil {
@@ -216,6 +281,52 @@ func TestOutOfCoreCrashResume(t *testing.T) {
 	}
 }
 
+// TestOutOfCoreCrashWritesInFlight kills the solve through the spill
+// failpoint while the write-behind queue is busy mid-wave — far from any
+// checkpoint quiesce — and requires the original write error to surface
+// (not a confusing missing-file read) and the store to stay resumable to
+// the bit-identical database. This is the drain-mode contract: after the
+// first failure nothing is written and nothing superseded is deleted, so
+// every manifest-pinned generation survives.
+func TestOutOfCoreCrashWritesInFlight(t *testing.T) {
+	g := ttt.New()
+	want, err := ra.Sequential{}.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, _ := ra.InCoreStateBytes(g, ra.KernelAuto)
+	crashes := 0
+	for _, failAt := range []int{2, 5, 9, 14, 40, 90} {
+		dir := t.TempDir()
+		crash := Engine{
+			MemLimit:        ic / 6,
+			Dir:             dir,
+			CheckpointEvery: 3,
+			failSpillAfter:  failAt,
+		}
+		_, _, err := crash.SolveDetailed(g)
+		if err == nil {
+			break
+		}
+		crashes++
+		if !errors.Is(err, errSimulatedCrash) {
+			t.Fatalf("failAt=%d: crash run returned %v, want simulated crash", failAt, err)
+		}
+		if _, err := InspectDir(dir); err != nil {
+			t.Fatalf("failAt=%d: store unreadable after crash: %v", failAt, err)
+		}
+		resume := Engine{MemLimit: ic / 6, Dir: dir, CheckpointEvery: 3}
+		got, _, err := resume.SolveDetailed(g)
+		if err != nil {
+			t.Fatalf("failAt=%d: resume: %v", failAt, err)
+		}
+		compareResults(t, "in-flight crash resume", want, got)
+	}
+	if crashes == 0 {
+		t.Error("no failpoint fired; the in-flight crash path went unexercised")
+	}
+}
+
 // TestOutOfCoreResumeMismatch: a manifest from a different configuration
 // must be rejected as corrupt, not silently reinterpreted.
 func TestOutOfCoreResumeMismatch(t *testing.T) {
@@ -259,6 +370,20 @@ func TestOutOfCoreViaConfig(t *testing.T) {
 	}
 	if _, err := ra.NewEngine(ra.Config{Engine: ra.OutOfCore, MemLimit: 1}); err == nil {
 		t.Error("NewEngine accepted an empty SpillDir")
+	}
+
+	// Config.SpillSync must map to the fully synchronous engine — the
+	// A/B control rabuild -syncspill and the E16 baseline rely on.
+	se, err := ra.NewEngine(ra.Config{Engine: ra.OutOfCore, MemLimit: 1, SpillDir: t.TempDir(), SpillSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oe, ok := se.(Engine)
+	if !ok {
+		t.Fatalf("out-of-core front door returned %T", se)
+	}
+	if oe.Writeback >= 0 || !oe.NoPrefetch {
+		t.Errorf("SpillSync mapped to Writeback=%d NoPrefetch=%v, want synchronous", oe.Writeback, oe.NoPrefetch)
 	}
 }
 
@@ -328,6 +453,10 @@ func TestManifestRoundtrip(t *testing.T) {
 		kernel:   ra.KernelSWAR,
 		blockLen: 256,
 		waves:    17,
+		counters: manifestCounters{
+			spilled: 31, reloaded: 27, bytesWritten: 40961, bytesRead: 38112,
+			checkpoints: 4, prefetchIssued: 19, prefetchHits: 16, writeStalls: 2,
+		},
 		blocks: []manifestBlock{
 			{gen: 3, stats: ra.WorkerStats{Positions: 256, Finalized: 9}, queue: []uint64{1, 2, 250}},
 			{gen: 1, stats: ra.WorkerStats{Positions: 256}, next: []uint64{0}, loopy: []uint64{5}},
@@ -345,6 +474,9 @@ func TestManifestRoundtrip(t *testing.T) {
 	}
 	if got.size != mf.size || got.kernel != mf.kernel || got.blockLen != mf.blockLen || got.waves != mf.waves {
 		t.Fatalf("header roundtrip: %+v", got)
+	}
+	if got.counters != mf.counters {
+		t.Fatalf("counter roundtrip: %+v vs %+v", got.counters, mf.counters)
 	}
 	for i := range mf.blocks {
 		w, g := &mf.blocks[i], &got.blocks[i]

@@ -177,15 +177,58 @@ func (s *spillStore) path(block int, gen uint64) string {
 	return filepath.Join(s.dir, fmt.Sprintf("block-%06d.g%d%s", block, gen, spillSuffix))
 }
 
-func (s *spillStore) write(block int, gen uint64, data []byte) error {
+// write lands one generation of one block. A durable write fsyncs before
+// the rename (the synchronous engine's per-spill behavior); a non-durable
+// write skips the fsync, because write-behind generations only need to be
+// on disk by the next manifest fence, where sync makes whichever
+// generation the manifest pins durable in one pass. A crash before that
+// fence can leave a renamed-but-garbage file — harmless, since no
+// manifest names it and resume reads only pinned generations.
+func (s *spillStore) write(block int, gen uint64, data []byte, durable bool) error {
 	s.writes++
 	if s.failAfter > 0 && s.writes >= s.failAfter {
 		return errSimulatedCrash
 	}
-	return ra.WriteFileAtomic(s.path(block, gen), func(w io.Writer) error {
-		_, err := w.Write(data)
+	path := s.path(block, gen)
+	if durable {
+		return ra.WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := w.Write(data)
+			return err
+		})
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
 		return err
-	})
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// sync makes an already-written generation durable — the manifest
+// fence's group fsync over the files it is about to pin.
+func (s *spillStore) sync(block int, gen uint64) error {
+	f, err := os.Open(s.path(block, gen))
+	if err != nil {
+		return fmt.Errorf("oocore: syncing spill block: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("oocore: syncing spill block: %w", err)
+	}
+	return f.Close()
 }
 
 func (s *spillStore) read(block int, gen uint64) ([]byte, string, error) {

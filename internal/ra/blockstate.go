@@ -105,6 +105,17 @@ func (w *Worker) DropState() {
 	w.lane = nil
 }
 
+// PeekWave returns the number of positions finalized in the current
+// wave and waiting for the next BeginWave to promote them — the part of
+// the coming wave's expansion frontier that is already known, visible
+// without promoting it. The out-of-core scheduler uses it to prefetch
+// the blocks the next wave will expand while the current wave is still
+// flushing, and to rank a block's state as evictable when the coming
+// wave provably will not touch it. The queues live outside the
+// spillable state array, so PeekWave works on workers whose state is
+// not resident.
+func (w *Worker) PeekWave() int { return len(w.next) }
+
 // Frontier returns the worker's wave queues — positions finalized last
 // wave and not yet expanded, positions finalized this wave, and loop-
 // resolved positions — as local indices. The slices alias the worker's

@@ -73,6 +73,12 @@ type Config struct {
 	// SpillDir is the out-of-core engine's spill/checkpoint directory.
 	// Required when Engine is OutOfCore; ignored in core.
 	SpillDir string
+	// SpillSync forces the out-of-core engine's spill I/O synchronous:
+	// no write-behind pipeline, no frontier prefetch — every eviction
+	// encodes and writes inline and every reload is a demand read. The
+	// result is bit-identical either way; this knob exists for parity
+	// drills and A/B measurement (E16). Ignored in core.
+	SpillSync bool
 }
 
 // Lane field layout (one byte per position).

@@ -57,6 +57,34 @@ func TestWorkerInitCounts(t *testing.T) {
 	}
 }
 
+// TestWorkerPeekWave pins the frontier-peek contract the out-of-core
+// scheduler relies on: positions finalized in the current wave are
+// visible through PeekWave before BeginWave promotes them, the count
+// survives DropState (the queues live outside the spillable state), and
+// promotion drains it.
+func TestWorkerPeekWave(t *testing.T) {
+	g := nim.MustNew(2, 3)
+	part := Cyclic(g.Size(), 1)
+	w := NewWorker(g, part, 0)
+	finals, err := w.Init()
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	if got := w.PeekWave(); got != int(finals) {
+		t.Fatalf("PeekWave after Init = %d, want %d", got, finals)
+	}
+	w.DropState()
+	if got := w.PeekWave(); got != int(finals) {
+		t.Errorf("PeekWave after DropState = %d, want %d", got, finals)
+	}
+	if n := w.BeginWave(); n != int(finals) {
+		t.Fatalf("BeginWave = %d, want %d", n, finals)
+	}
+	if got := w.PeekWave(); got != 0 {
+		t.Errorf("PeekWave after BeginWave = %d, want 0", got)
+	}
+}
+
 func TestWorkerExpandLimit(t *testing.T) {
 	g := ttt.New()
 	part := Cyclic(g.Size(), 1)

@@ -284,10 +284,19 @@ type Spill struct {
 	// spill store.
 	Spilled  uint64 `json:"spilled"`
 	Reloaded uint64 `json:"reloaded"`
-	// BytesWritten is the compressed spill traffic written.
+	// BytesWritten and BytesRead are the compressed spill traffic in
+	// each direction.
 	BytesWritten uint64 `json:"bytesWritten"`
+	BytesRead    uint64 `json:"bytesRead,omitempty"`
 	// PeakResidentBytes is the resident block-state high-water mark.
 	PeakResidentBytes uint64 `json:"peakResidentBytes"`
+	// PrefetchIssued/PrefetchHits count the frontier prefetcher's
+	// background reads and the reloads they satisfied; WriteStalls counts
+	// evictions that waited for a write-behind slot. All zero for runs
+	// with the spill pipeline disabled.
+	PrefetchIssued uint64 `json:"prefetchIssued,omitempty"`
+	PrefetchHits   uint64 `json:"prefetchHits,omitempty"`
+	WriteStalls    uint64 `json:"writeStalls,omitempty"`
 }
 
 // documentJSON is the top-level shape of a WriteJSON file.
